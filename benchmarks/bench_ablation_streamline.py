@@ -1,0 +1,82 @@
+"""Ablation bench (§3.3): Swizzling Fragments, Squeezing Registers,
+Double-layer Filling, and the complex-product decomposition.
+
+Each switch is benchmarked in isolation against the full configuration and
+the modelled effect (pipeline utilization, occupancy, MMA count) is attached
+as extra info — these are the DESIGN.md design-choice ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import heat_1d
+from repro.core.streamline import StreamlineConfig, TCUStencilExecutor
+from repro.core.tailoring import SegmentPlan
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.spec import A100
+
+_CONFIGS = {
+    "full": StreamlineConfig(),
+    "no-swizzle": StreamlineConfig(swizzle=False),
+    "no-squeeze": StreamlineConfig(squeeze_registers=False),
+    "no-double-layer": StreamlineConfig(double_layer=False),
+    "karatsuba": StreamlineConfig(complex_method="3mult"),
+}
+
+
+def _setup():
+    plan = SegmentPlan((4032,), heat_1d(), 4, (496,))
+    rng = np.random.default_rng(4)
+    return plan, plan.split(rng.standard_normal(4032))
+
+
+@pytest.mark.benchmark(group="ablation-streamline")
+@pytest.mark.parametrize("name", list(_CONFIGS))
+def test_technique_switch(benchmark, name):
+    plan, windows = _setup()
+    cfg = _CONFIGS[name]
+    ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum(), cfg)
+    res = benchmark.pedantic(ex.run, args=(windows,), rounds=3, iterations=1, warmup_rounds=1)
+    np.testing.assert_allclose(res.output, plan.fuse(windows), atol=1e-9)
+    occ = occupancy(A100, 256, cfg.registers_per_thread, 48 * 2**10)
+    benchmark.extra_info["tcu_utilization"] = round(res.pipeline.tcu_utilization, 3)
+    benchmark.extra_info["warps_per_sm"] = occ.warps_per_sm
+    benchmark.extra_info["mma_ops"] = res.mma_stats.mma_ops
+    benchmark.extra_info["sparsity"] = round(res.mma_stats.sparsity, 3)
+
+
+@pytest.mark.benchmark(group="ablation-streamline")
+def test_swizzle_effect_summary(benchmark):
+    plan, windows = _setup()
+
+    def measure():
+        on = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig()
+        ).run(windows)
+        off = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(swizzle=False)
+        ).run(windows)
+        return on.pipeline.tcu_utilization, off.pipeline.tcu_utilization
+
+    on_pu, off_pu = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert on_pu > off_pu  # the Figure-5 pipeline-bubble removal
+    benchmark.extra_info["pu_with_swizzle"] = round(on_pu, 3)
+    benchmark.extra_info["pu_without_swizzle"] = round(off_pu, 3)
+
+
+@pytest.mark.benchmark(group="ablation-streamline")
+def test_squeeze_doubles_occupancy(benchmark):
+    def measure():
+        lo = occupancy(A100, 256, StreamlineConfig().registers_per_thread, 16 * 2**10)
+        hi = occupancy(
+            A100,
+            256,
+            StreamlineConfig(squeeze_registers=False).registers_per_thread,
+            16 * 2**10,
+        )
+        return lo.warps_per_sm, hi.warps_per_sm
+
+    squeezed, unsqueezed = benchmark(measure)
+    assert squeezed == 2 * unsqueezed  # §3.3: doubling active threads

@@ -1,0 +1,67 @@
+"""Benches for the extension subsystems: wave fusion and multi-rank runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import heat_1d, heat_2d
+from repro.core.reference import run_stencil
+from repro.core.wave import WaveFFTPlan, run_two_step_reference, wave_equation
+from repro.distributed import DistributedStencil
+from repro.workloads.generators import random_field
+
+_N = 1 << 13
+
+
+@pytest.mark.benchmark(group="ext-wave")
+@pytest.mark.parametrize("fused", [1, 8, 32])
+def test_wave_fusion_depth(benchmark, fused, rng):
+    scheme = wave_equation(heat_1d(0.25), courant2=0.5)
+    u0, u1 = rng.standard_normal((2, _N))
+    plan = WaveFFTPlan(_N, scheme, fused_steps=fused)
+    got = benchmark.pedantic(
+        plan.run, args=(u0, u1, 32), rounds=3, iterations=1, warmup_rounds=1
+    )
+    want = run_two_step_reference(u0, u1, scheme, 32)
+    np.testing.assert_allclose(got[1], want[1], atol=1e-7)
+
+
+@pytest.mark.benchmark(group="ext-wave")
+def test_wave_2d(benchmark, rng):
+    scheme = wave_equation(heat_2d(0.125), courant2=0.5)
+    u0, u1 = rng.standard_normal((2, 64, 64))
+    plan = WaveFFTPlan((64, 64), scheme, fused_steps=8)
+    got = benchmark.pedantic(
+        plan.run, args=(u0, u1, 16), rounds=3, iterations=1, warmup_rounds=1
+    )
+    want = run_two_step_reference(u0, u1, scheme, 16)
+    np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+
+@pytest.mark.benchmark(group="ext-distributed")
+@pytest.mark.parametrize("ranks", [1, 2, 4, 8])
+def test_distributed_ranks(benchmark, ranks):
+    grid = random_field(_N, seed=3)
+    dist = DistributedStencil((_N,), heat_1d(), ranks, fused_steps=8)
+    got = benchmark.pedantic(
+        dist.run, args=(grid, 16), rounds=3, iterations=1, warmup_rounds=1
+    )
+    np.testing.assert_allclose(got, run_stencil(grid, heat_1d(), 16), atol=1e-8)
+
+
+@pytest.mark.benchmark(group="ext-distributed")
+@pytest.mark.parametrize("fused", [2, 8])
+def test_distributed_fusion_tradeoff(benchmark, fused):
+    # Deeper fusion: fewer exchanges per run (the headline of combining
+    # Equation (10) with domain decomposition).
+    grid = random_field(_N, seed=3)
+
+    def run():
+        dist = DistributedStencil((_N,), heat_1d(), 4, fused_steps=fused)
+        out = dist.run(grid, 16)
+        return out, dist.exchanges_performed
+
+    out, exchanges = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert exchanges == -(-16 // fused)
+    benchmark.extra_info["exchanges"] = exchanges

@@ -1,0 +1,38 @@
+"""Bench for Figure 10: fragment-sparsity measurement on the emulated TCU.
+
+Times each TCU method's lowering with statistics collection enabled and
+asserts the figure's two claims: prior methods are >= 24.5% sparse and
+below the ridge; FlashFFTStencil is near-dense and above both ridges.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sparsity import figure10_rows
+from repro.baselines import ConvStencil, LoRAStencil, TCStencil
+from repro.core.kernels import heat_1d
+from repro.gpusim.spec import A100, H100
+
+_METHODS = {m.name: m for m in (TCStencil(), ConvStencil(), LoRAStencil())}
+
+
+@pytest.mark.benchmark(group="fig10")
+@pytest.mark.parametrize("name", list(_METHODS))
+def test_sparsity_measurement(benchmark, name):
+    method = _METHODS[name]
+    sparsity = benchmark(method.measure_sparsity, heat_1d())
+    assert sparsity >= 0.245  # the paper's prior-work floor
+    benchmark.extra_info["fragment_sparsity"] = round(sparsity, 3)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_full_figure10(benchmark):
+    rows = benchmark.pedantic(figure10_rows, rounds=1, iterations=1)
+    flash = rows[-1]
+    assert flash.method == "FlashFFTStencil"
+    assert flash.measured_sparsity < 0.10
+    assert flash.above_ridge(A100) and flash.above_ridge(H100)
+    for r in rows[:-1]:
+        assert not r.above_ridge(A100)
+        benchmark.extra_info[r.method] = f"AI={r.measured_intensity:.2f}"

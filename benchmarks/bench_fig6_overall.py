@@ -1,0 +1,38 @@
+"""Bench for Figure 6: every method's real execution at validation scale.
+
+Two layers:
+
+* real NumPy timing of each method's ``apply`` on every Table-3 workload's
+  validation grid (a genuine local analog of the figure), and
+* the paper-scale roofline prediction attached as extra info — regenerate
+  the full modelled figure with ``python -m repro.experiments fig6``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import default_method_suite
+from repro.gpusim.spec import H100
+from repro.workloads.generators import random_field
+
+_SUITE = {m.name: m for m in default_method_suite(flash_fused_steps=4)}
+_STEPS = 8
+
+
+@pytest.mark.benchmark(group="fig6")
+@pytest.mark.parametrize("method_name", list(_SUITE))
+def test_method_validation_scale(benchmark, method_name, workload):
+    method = _SUITE[method_name]
+    grid = random_field(workload.validation_shape, seed=5)
+    out = benchmark.pedantic(
+        method.apply,
+        args=(grid, workload.kernel, _STEPS),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert out.shape == grid.shape
+    predicted = method.predict(workload.kernel, workload.points, workload.time_steps, H100)
+    benchmark.extra_info["modelled_h100_seconds"] = round(predicted.seconds, 4)
+    benchmark.extra_info["modelled_h100_gstencils"] = round(predicted.gstencils, 1)

@@ -1,0 +1,52 @@
+"""Bench for Figure 7: the technique ladder, timed and modelled.
+
+Times the emulated executor under each cumulative technique state (the real
+computational content of each rung at validation scale) and checks the
+modelled ladder improves monotonically to the paper's cumulative band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import performance_breakdown
+from repro.core.kernels import heat_1d
+from repro.core.streamline import StreamlineConfig, TCUStencilExecutor
+from repro.core.tailoring import SegmentPlan
+from repro.gpusim.spec import A100
+
+_LADDER_CONFIGS = {
+    "naive": StreamlineConfig(swizzle=False, squeeze_registers=False, double_layer=False),
+    "+double-layer": StreamlineConfig(swizzle=False, squeeze_registers=False),
+    "+swizzle": StreamlineConfig(squeeze_registers=False),
+    "+squeeze(full)": StreamlineConfig(),
+}
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("stage", list(_LADDER_CONFIGS))
+def test_executor_stage_timing(benchmark, stage, rng):
+    plan = SegmentPlan((4000,), heat_1d(), 6, (492,))
+    windows = plan.split(rng.standard_normal(4000))
+    ex = TCUStencilExecutor(
+        plan.local_shape, plan.fused_spectrum(), _LADDER_CONFIGS[stage]
+    )
+    res = benchmark.pedantic(ex.run, args=(windows,), rounds=3, iterations=1, warmup_rounds=1)
+    np.testing.assert_allclose(res.output, plan.fuse(windows), atol=1e-9)
+    benchmark.extra_info["tcu_utilization"] = round(res.pipeline.tcu_utilization, 3)
+    benchmark.extra_info["mma_ops"] = res.mma_stats.mma_ops
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_modelled_ladder(benchmark):
+    ladder = benchmark.pedantic(
+        performance_breakdown,
+        args=(heat_1d(), 512 * 2**20, 1000, A100),
+        rounds=1,
+        iterations=1,
+    )
+    assert all(r.step_speedup > 1.0 for r in ladder[1:])
+    assert 8.0 < ladder[-1].cumulative_speedup < 16.0  # paper: ~11.25x
+    for r in ladder:
+        benchmark.extra_info[r.label] = f"{r.cumulative_speedup:.2f}x"

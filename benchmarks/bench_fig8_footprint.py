@@ -1,0 +1,52 @@
+"""Bench for Figure 8: memory-footprint accounting + the machinery behind it.
+
+Asserts the 7-9x reduction band at every swept size and times plan
+construction (the footprint's source of truth is the auto-tuned window).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.footprint import flashfft_footprint_bytes, footprint_sweep
+from repro.baselines.cufft import standard_fft_footprint_bytes
+from repro.core.kernels import box_2d9p, heat_1d
+from repro.core.plan import FlashFFTStencil
+
+_1D_SIZES = [(1 << 22,), (3 << 21,), (1 << 26,), (3 << 25,), (1 << 29,)]
+_2D_SIZES = [(2048, 2048), (3072, 2048), (8192, 8192), (16384, 16384)]
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_footprint_sweep_heat1d(benchmark):
+    rows = benchmark(footprint_sweep, heat_1d(), _1D_SIZES)
+    for r in rows:
+        assert 6.5 <= r.reduction <= 9.5
+        benchmark.extra_info[f"n={r.grid_points}"] = f"{r.reduction:.1f}x"
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_footprint_sweep_box2d9p(benchmark):
+    rows = benchmark(footprint_sweep, box_2d9p(), _2D_SIZES)
+    for r in rows:
+        assert r.reduction > 5.0
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_standard_footprint_model(benchmark):
+    bytes_ = benchmark(standard_fft_footprint_bytes, 512 * 2**20)
+    assert bytes_ > 40 * 2**30  # the capacity pressure §3.1 describes
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_flash_footprint_model(benchmark):
+    bytes_ = benchmark(
+        flashfft_footprint_bytes, heat_1d(), (512 * 2**20,), 6
+    )
+    assert bytes_ < 10 * 2**30
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_plan_construction_cost(benchmark):
+    plan = benchmark(FlashFFTStencil, (1 << 20,), heat_1d(), 6)
+    assert plan.tuned is not None

@@ -1,0 +1,48 @@
+"""Bench: the Prime-Factor transform machinery itself.
+
+Times the PFA DFT (scatter + two dense matrix products + gather) against
+``numpy.fft`` at Eq.-(5) sizes, and the batched executor throughput — the
+computational heart every fused segment passes through.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pfa import PFAPlan, best_coprime_split
+
+
+@pytest.mark.benchmark(group="pfa")
+@pytest.mark.parametrize("length", [56, 504, 1008])
+def test_pfa_dft(benchmark, length, rng):
+    plan = PFAPlan(*best_coprime_split(length))
+    x = rng.standard_normal((32, length))
+    got = benchmark(plan.dft, x)
+    np.testing.assert_allclose(got, np.fft.fft(x, axis=-1), atol=1e-7)
+
+
+@pytest.mark.benchmark(group="pfa")
+@pytest.mark.parametrize("length", [504])
+def test_numpy_fft_reference(benchmark, length, rng):
+    x = rng.standard_normal((32, length))
+    benchmark(np.fft.fft, x)
+
+
+@pytest.mark.benchmark(group="pfa")
+def test_scatter_gather_roundtrip(benchmark, rng):
+    plan = PFAPlan(8, 63)
+    x = rng.standard_normal((64, 504))
+
+    def roundtrip():
+        return plan.gather(plan.scatter(x))
+
+    out = benchmark(roundtrip)
+    np.testing.assert_array_equal(out, x)
+
+
+@pytest.mark.benchmark(group="pfa")
+def test_store_address_generation(benchmark):
+    plan = PFAPlan(8, 63)
+    addrs = benchmark(plan.smem_store_addresses)
+    assert addrs.size == 504

@@ -1,0 +1,46 @@
+"""Benches for Tables 1-2: the GPU model's per-access primitives.
+
+The tables themselves are static configuration; what is worth timing is the
+machinery that consumes them — the coalescing and bank-conflict analyzers
+every Table-4 measurement is built on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.tables import table1, table2
+from repro.gpusim.memory import element_stream_to_warps, warp_transactions
+from repro.gpusim.smem import bank_conflicts
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table1_report(benchmark):
+    out = benchmark(table1)
+    assert "290" in out and "164 KiB" in out
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table2_report(benchmark):
+    out = benchmark(table2)
+    assert "67 TFLOPS" in out
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_warp_transaction_analysis_throughput(benchmark, rng):
+    addrs = (rng.integers(0, 1 << 20, size=32) * 8).astype(np.int64)
+    benchmark(warp_transactions, addrs)
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_bank_conflict_analysis_throughput(benchmark, rng):
+    addrs = (rng.integers(0, 1 << 12, size=32) * 8).astype(np.int64)
+    benchmark(bank_conflicts, addrs)
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_stream_chopping_throughput(benchmark):
+    idx = np.arange(1 << 14)
+    warps = benchmark(element_stream_to_warps, idx)
+    assert len(warps) == (1 << 14) // 32

@@ -1,0 +1,23 @@
+"""Bench for Table 3: one reference sweep per benchmark kernel.
+
+Times the direct stencil engine on each workload's validation grid — the
+baseline every other engine in the library is checked against, and the
+denominator of every GStencil/s number at validation scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.base import gstencil_per_second
+from repro.core.reference import apply_stencil
+from repro.workloads.generators import random_field
+
+
+@pytest.mark.benchmark(group="table3")
+def test_reference_sweep(benchmark, workload):
+    grid = random_field(workload.validation_shape, seed=1)
+    result = benchmark(apply_stencil, grid, workload.kernel)
+    assert result.shape == grid.shape
+    benchmark.extra_info["kernel_points"] = workload.kernel_points
+    benchmark.extra_info["validation_points"] = int(grid.size)

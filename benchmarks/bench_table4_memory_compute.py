@@ -1,0 +1,61 @@
+"""Bench for Table 4: the memory/compute workload analysis itself.
+
+Times the trace generation + metric extraction per kernel class and asserts
+the with/without ordering of every metric (the table's claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.table4 import (
+    TABLE4_KERNELS,
+    _global_streams,
+    _pipeline_util,
+    _smem_streams,
+)
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("name", list(TABLE4_KERNELS))
+def test_uncoalesced_access_measurement(benchmark, name):
+    kernel = TABLE4_KERNELS[name]
+
+    def measure():
+        return (
+            _global_streams(kernel, aligned=False).uncoalesced_fraction,
+            _global_streams(kernel, aligned=True).uncoalesced_fraction,
+        )
+
+    without, with_ = benchmark(measure)
+    assert with_ < without
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("name", list(TABLE4_KERNELS))
+def test_bank_conflict_measurement(benchmark, name):
+    kernel = TABLE4_KERNELS[name]
+
+    def measure():
+        return (
+            _smem_streams(kernel, aligned=False).conflicts_per_request,
+            _smem_streams(kernel, aligned=True).conflicts_per_request,
+        )
+
+    without, with_ = benchmark(measure)
+    assert with_ < without
+
+
+@pytest.mark.benchmark(group="table4")
+@pytest.mark.parametrize("name", list(TABLE4_KERNELS))
+def test_pipeline_utilization_measurement(benchmark, name):
+    kernel = TABLE4_KERNELS[name]
+
+    def measure():
+        return (
+            _pipeline_util(kernel, streamlined=False),
+            _pipeline_util(kernel, streamlined=True),
+        )
+
+    without, with_ = benchmark(measure)
+    assert with_ > without

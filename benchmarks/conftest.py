@@ -1,0 +1,30 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark times *real NumPy execution* at a reduced, laptop-feasible
+scale and (where relevant) prints the paper-scale model rows alongside.
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.configs import TABLE3_SUITE
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xBE9C)
+
+
+@pytest.fixture(params=TABLE3_SUITE, ids=lambda w: w.name)
+def workload(request):
+    return request.param
+
+
+def pytest_collection_modifyitems(items):
+    # Benchmarks are ordered per-artifact; keep file order stable.
+    items.sort(key=lambda it: it.fspath.basename)

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""2-D acoustic wave propagation with fused leapfrog time stepping.
+
+The extension beyond the paper: its Equation-(10) fusion generalises from
+scalar spectrum powers to 2x2 companion-matrix powers, so *second-order*
+(wave) recurrences — the electromagnetics/seismic workloads the paper's
+introduction motivates — also fuse to arbitrary depth.  A point source
+rings in a periodic box; 16 leapfrog steps per fused application, verified
+exactly against direct time stepping.
+
+Run:  python examples/acoustic_wave_2d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import heat_2d
+from repro.core import WaveFFTPlan, run_two_step_reference, wave_equation
+from repro.workloads import gaussian_bump
+
+SHAPE = (96, 96)
+FUSED = 16
+FRAMES = 3
+
+_SHADES = " .:-=+*#%@"
+
+
+def render(field: np.ndarray, rows: int = 12, cols: int = 36) -> str:
+    r, c = field.shape[0] // rows, field.shape[1] // cols
+    coarse = np.abs(field[: rows * r, : cols * c]).reshape(rows, r, cols, c).mean((1, 3))
+    hi = coarse.max() or 1.0
+    idx = (coarse / hi * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    scheme = wave_equation(heat_2d(0.125), courant2=0.5)
+    pulse = gaussian_bump(SHAPE, center=(0.5, 0.5), width=0.04, amplitude=10.0)
+    plan = WaveFFTPlan(SHAPE, scheme, fused_steps=FUSED)
+    print(
+        f"2-D leapfrog wave on {SHAPE}, {FUSED} steps fused per application\n"
+        f"A kernel: {scheme.a.points} taps; companion matrices precomputed once"
+    )
+
+    prev = curr = pulse
+    for frame in range(FRAMES + 1):
+        print(f"\nt = {frame * FUSED:3d} steps   max |u| = {np.abs(curr).max():.4f}")
+        print(render(curr))
+        if frame < FRAMES:
+            prev, curr = plan.apply(prev, curr)
+
+    # Exactness + neutral stability.
+    want_prev, want_curr = run_two_step_reference(pulse, pulse, scheme, FRAMES * FUSED)
+    err = float(np.max(np.abs(curr - want_curr)))
+    print(f"\nmax |err| vs direct leapfrog after {FRAMES * FUSED} steps: {err:.2e}")
+    assert err < 1e-9
+    assert np.abs(curr).max() < 2 * np.abs(pulse).max()  # no energy injection
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""2-D heat diffusion: a hot Gaussian blob relaxing on a periodic plate.
+
+Demonstrates the multi-dimensional path of the system (2-D slice processing
+with a PFA-decomposed contiguous axis), physically meaningful invariants
+(mass conservation, the maximum principle), and a terminal rendering of the
+temperature field over time.
+
+Run:  python examples/heat_diffusion_2d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FlashFFTStencil, heat_2d, run_stencil
+from repro.workloads import gaussian_bump
+
+SHAPE = (96, 192)
+FUSED = 4
+FRAMES = 4
+STEPS_PER_FRAME = 24
+
+_SHADES = " .:-=+*#%@"
+
+
+def render(field: np.ndarray, rows: int = 12, cols: int = 48) -> str:
+    """Downsample a field to an ASCII heat map."""
+    r = field.shape[0] // rows
+    c = field.shape[1] // cols
+    coarse = field[: rows * r, : cols * c].reshape(rows, r, cols, c).mean(axis=(1, 3))
+    lo, hi = coarse.min(), coarse.max()
+    span = (hi - lo) or 1.0
+    idx = ((coarse - lo) / span * (len(_SHADES) - 1)).astype(int)
+    return "\n".join("".join(_SHADES[i] for i in row) for row in idx)
+
+
+def main() -> None:
+    kernel = heat_2d(alpha=0.125)
+    field = gaussian_bump(SHAPE, center=(0.5, 0.3), width=0.06, amplitude=100.0)
+    plan = FlashFFTStencil(SHAPE, kernel, fused_steps=FUSED)
+    print(
+        f"2-D heat diffusion on {SHAPE} (periodic), fused {FUSED} steps/app, "
+        f"tiles {plan.segments.valid_shape}, window {plan.local_shape}"
+    )
+
+    mass0 = field.sum()
+    peak0 = field.max()
+    current = field
+    for frame in range(FRAMES + 1):
+        print(f"\nt = {frame * STEPS_PER_FRAME:4d} steps   "
+              f"peak = {current.max():8.3f}   mass drift = "
+              f"{abs(current.sum() - mass0) / mass0:.2e}")
+        print(render(current))
+        if frame < FRAMES:
+            current = plan.run(current, STEPS_PER_FRAME)
+
+    # Physics checks: conservation + maximum principle + exactness.
+    assert abs(current.sum() - mass0) / mass0 < 1e-12
+    assert current.max() <= peak0 + 1e-9
+    ref = run_stencil(field, kernel, FRAMES * STEPS_PER_FRAME)
+    err = float(np.max(np.abs(current - ref)))
+    print(f"\nmax |err| vs direct reference after {FRAMES * STEPS_PER_FRAME} steps: {err:.2e}")
+    assert err < 1e-8
+
+
+if __name__ == "__main__":
+    main()

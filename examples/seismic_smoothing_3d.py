@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""3-D volumetric smoothing: point sources diffusing through a rock volume.
+
+A stand-in for the earth-modelling workloads the paper's introduction
+motivates: impulsive sources (e.g. seismic energy deposits) smoothed by a
+27-point box stencil with *zero* (absorbing-edge) boundaries — exercising
+the 2-D slice processing path, deep temporal fusion under aperiodic
+boundaries (interior fusion + exact boundary-band recompute), and the
+residual-energy accounting an application would do.
+
+Run:  python examples/seismic_smoothing_3d.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FlashFFTStencil, box_3d27p, run_stencil
+from repro.workloads import hot_spots
+
+SHAPE = (40, 40, 40)
+SOURCES = 12
+FUSED = 3
+TOTAL_STEPS = 12
+
+
+def main() -> None:
+    kernel = box_3d27p()
+    volume = hot_spots(SHAPE, count=SOURCES, seed=7, amplitude=1000.0)
+    plan = FlashFFTStencil(
+        SHAPE, kernel, fused_steps=FUSED, boundary="zero", tile=(20, 20, 20)
+    )
+    print(
+        f"3-D box smoothing on {SHAPE}, zero boundaries, {SOURCES} sources, "
+        f"{TOTAL_STEPS} steps fused {FUSED} at a time"
+    )
+
+    energy0 = volume.sum()
+    smoothed = plan.run(volume, TOTAL_STEPS)
+
+    # With absorbing (zero) boundaries, energy leaks out through the faces.
+    leaked = 1.0 - smoothed.sum() / energy0
+    spread = (smoothed > smoothed.max() * 0.01).sum()
+    print(f"  energy leaked through boundaries: {leaked:.2%}")
+    print(f"  support above 1% of peak: {spread:,} of {volume.size:,} voxels")
+    assert 0.0 <= leaked < 1.0
+    assert spread > SOURCES  # diffusion spread the impulses
+
+    # Depth profile of the smoothed energy.
+    profile = smoothed.sum(axis=(1, 2))
+    bar = profile / profile.max() * 40
+    print("  depth profile (z-slabs):")
+    for z in range(0, SHAPE[0], 5):
+        print(f"   z={z:2d} |{'#' * int(bar[z])}")
+
+    ref = run_stencil(volume, kernel, TOTAL_STEPS, boundary="zero")
+    err = float(np.max(np.abs(smoothed - ref)))
+    print(f"  max |err| vs direct reference: {err:.2e}")
+    assert err < 1e-8
+
+
+if __name__ == "__main__":
+    main()

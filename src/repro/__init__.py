@@ -1,0 +1,108 @@
+"""FlashFFTStencil reproduction — FFT-bridged stencil computation on
+(simulated) Tensor Core Units.
+
+Reproduces *FlashFFTStencil: Bridging Fast Fourier Transforms to
+Memory-Efficient Stencil Computations on Tensor Core Units* (PPoPP 2025).
+
+Quick start::
+
+    import numpy as np
+    from repro import FlashFFTStencil, heat_1d
+
+    grid = np.random.default_rng(0).standard_normal(4096)
+    plan = FlashFFTStencil(grid.shape, heat_1d(), fused_steps=8)
+    out = plan.run(grid, total_steps=64)
+
+Subpackages
+-----------
+``repro.core``
+    The algorithm: kernels, reference engine, FFT stencils, Kernel
+    Tailoring, the Prime-Factor plan, Double-layer Filling, Computation
+    Streamlining, and the assembled :class:`FlashFFTStencil` system.
+``repro.gpusim``
+    The hardware model: A100/H100 specs, coalescing / bank-conflict /
+    fragment / pipeline / occupancy / roofline models.
+``repro.baselines``
+    Re-implementations of every comparator in the paper's Figure 6.
+``repro.analysis``
+    Metrics: GStencil/s, speedups, ablation ladders, footprint, sparsity.
+``repro.workloads``
+    Table-3 benchmark configurations and grid generators.
+``repro.experiments``
+    One runner per paper table/figure (``python -m repro.experiments all``).
+"""
+
+from .core import (
+    KERNEL_ZOO,
+    TwoStepStencil,
+    WaveFFTPlan,
+    wave_equation,
+    FlashFFTStencil,
+    PFAPlan,
+    SegmentPlan,
+    StencilKernel,
+    StreamlineConfig,
+    TCUStencilExecutor,
+    apply_fft_stencil,
+    apply_stencil,
+    box_2d9p,
+    box_3d27p,
+    heat_1d,
+    heat_2d,
+    heat_3d,
+    kernel_by_name,
+    run_stencil,
+    star_1d5p,
+    star_1d7p,
+    tailored_fft_stencil,
+)
+from .distributed import DistributedStencil, scaling_curve
+from .errors import (
+    BoundaryError,
+    KernelError,
+    PFAError,
+    PlanError,
+    ReproError,
+    SimulationError,
+)
+from .gpusim import A100, H100, GPUSpec, gpu_by_name
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "A100",
+    "DistributedStencil",
+    "TwoStepStencil",
+    "WaveFFTPlan",
+    "scaling_curve",
+    "wave_equation",
+    "BoundaryError",
+    "FlashFFTStencil",
+    "GPUSpec",
+    "H100",
+    "KERNEL_ZOO",
+    "KernelError",
+    "PFAError",
+    "PFAPlan",
+    "PlanError",
+    "ReproError",
+    "SegmentPlan",
+    "SimulationError",
+    "StencilKernel",
+    "StreamlineConfig",
+    "TCUStencilExecutor",
+    "apply_fft_stencil",
+    "apply_stencil",
+    "box_2d9p",
+    "box_3d27p",
+    "gpu_by_name",
+    "heat_1d",
+    "heat_2d",
+    "heat_3d",
+    "kernel_by_name",
+    "run_stencil",
+    "star_1d5p",
+    "star_1d7p",
+    "tailored_fft_stencil",
+    "__version__",
+]

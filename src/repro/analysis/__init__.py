@@ -1,0 +1,27 @@
+"""Evaluation machinery: metrics, ablations, footprint, sparsity, Table 4."""
+
+from .accuracy import FusionAccuracyRow, fusion_error_sweep, spectral_radius
+from .breakdown import BreakdownRung, performance_breakdown
+from .footprint import FootprintRow, flashfft_footprint_bytes, footprint_sweep
+from .metrics import ComparisonCell, ComparisonTable, run_comparison
+from .sparsity import Figure10Row, figure10_rows
+from .table4 import TABLE4_KERNELS, Table4Row, table4_rows
+
+__all__ = [
+    "BreakdownRung",
+    "FusionAccuracyRow",
+    "fusion_error_sweep",
+    "spectral_radius",
+    "ComparisonCell",
+    "ComparisonTable",
+    "Figure10Row",
+    "FootprintRow",
+    "TABLE4_KERNELS",
+    "Table4Row",
+    "figure10_rows",
+    "flashfft_footprint_bytes",
+    "footprint_sweep",
+    "performance_breakdown",
+    "run_comparison",
+    "table4_rows",
+]

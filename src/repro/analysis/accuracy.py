@@ -1,0 +1,79 @@
+"""Numerical-accuracy study: does deep temporal fusion stay exact?
+
+Equation (10) raises the kernel spectrum to the ``T``-th power.  For a
+stable (max-norm non-expanding) stencil ``|H(k)| <= 1`` everywhere, so the
+power is perfectly conditioned; for marginally stable modes roundoff can
+accumulate.  This module quantifies it: fused-vs-sequential error as a
+function of fusion depth and total steps, plus the spectral-radius diagnosis
+that predicts when fusion is safe.
+
+This is an *extension* study (the paper asserts unrestricted fusion without
+an error analysis); it doubles as the guardrail for users choosing very
+deep fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import run_stencil
+from ..core.spectral import fft_stencil_periodic
+from ..errors import PlanError
+
+__all__ = ["FusionAccuracyRow", "fusion_error_sweep", "spectral_radius"]
+
+
+def spectral_radius(kernel: StencilKernel, shape: int | tuple[int, ...]) -> float:
+    """``max_k |H(k)|`` on the grid — >1 means fusion will amplify roundoff."""
+    return float(np.max(np.abs(kernel.spectrum(shape))))
+
+
+@dataclass(frozen=True)
+class FusionAccuracyRow:
+    """Error of one (fusion depth, total steps) cell."""
+
+    fused_steps: int
+    total_steps: int
+    max_rel_error: float
+    spectral_radius: float
+
+
+def fusion_error_sweep(
+    kernel: StencilKernel,
+    grid_points: int = 4096,
+    depths: tuple[int, ...] = (1, 4, 16, 64, 256),
+    total_steps: int = 256,
+    seed: int = 0,
+) -> list[FusionAccuracyRow]:
+    """Fused-vs-sequential max relative error across fusion depths.
+
+    The sequential baseline is the direct (time-domain) engine; both run in
+    FP64, so the reported error is pure fusion-induced roundoff.
+    """
+    if kernel.ndim != 1:
+        raise PlanError("the accuracy sweep is defined on 1-D grids")
+    if any(total_steps % d for d in depths):
+        raise PlanError(f"every depth in {depths} must divide {total_steps}")
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal(grid_points)
+    want = run_stencil(x, kernel, total_steps)
+    scale = float(np.max(np.abs(want))) or 1.0
+    rho = spectral_radius(kernel, grid_points)
+    rows = []
+    for depth in depths:
+        out = x
+        for _ in range(total_steps // depth):
+            out = fft_stencil_periodic(out, kernel, depth, fused=True)
+        err = float(np.max(np.abs(out - want))) / scale
+        rows.append(
+            FusionAccuracyRow(
+                fused_steps=depth,
+                total_steps=total_steps,
+                max_rel_error=err,
+                spectral_radius=rho,
+            )
+        )
+    return rows

@@ -1,0 +1,170 @@
+"""Figure-7 ablation ladder: from the standard FFT stencil to FlashFFTStencil.
+
+The paper's performance breakdown (A100, Heat-1D, six fused time steps)
+stacks the techniques cumulatively:
+
+    standard FFT stencil (cuFFT)
+      + Kernel Tailoring            (paper: 4.68x)
+      + FP64 Tensor Cores           (paper: 1.62x)
+      + Architecture Aligning       (paper: 1.40x)
+      + Computation Streamlining    (paper: 1.08x)
+      = FlashFFTStencil             (paper: ~11.25x total)
+
+Our rungs are built from measured quantities wherever one exists:
+
+* the **baseline** is the per-step three-kernel cuFFT pipeline
+  (112 B/point/step of HBM round trips);
+* **Kernel Tailoring** keeps per-step execution but fuses the three kernels
+  in on-chip memory, cutting traffic to the overlap-save compulsory
+  ``8*(L/S) + 8`` bytes — still with unaligned accesses (Table-4 UGA-w/o
+  caps achieved bandwidth) and CUDA-core butterflies;
+* **Tensor Cores** switch the transform to the dense-matrix form Algorithm 1
+  needs (flop count measured on the emulated executor, double-layer off)
+  and unlock the temporal fusion depth of the plan;
+* **Architecture Aligning** lifts achieved bandwidth to the Table-4 UGA-w
+  level and halves transform work via Double-layer Filling;
+* **Computation Streamlining** raises the achieved fraction of TC peak from
+  the measured unstreamlined to the measured streamlined pipe utilization.
+
+The per-rung attribution necessarily differs from the authors' internal
+variants (EXPERIMENTS.md discusses the deltas); the end-to-end cumulative
+factor is the load-bearing number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.cufft import BYTES_PER_POINT_PER_APPLICATION
+from ..core.kernels import StencilKernel
+from ..core.plan import FlashFFTStencil
+from ..core.streamline import StreamlineConfig
+from ..errors import PlanError
+from ..gpusim.roofline import KernelCost, execution_time
+from ..gpusim.spec import GPUSpec
+
+__all__ = ["BreakdownRung", "performance_breakdown"]
+
+#: Achieved-bandwidth fractions implied by the Table-4 coalescing results.
+MEM_EFF_UNALIGNED = 0.55
+MEM_EFF_ALIGNED = 0.95
+#: Achieved CUDA-core fraction for fused in-SMEM FFT butterflies.
+BUTTERFLY_EFFICIENCY = 0.35
+
+
+@dataclass(frozen=True)
+class BreakdownRung:
+    """One bar of Figure 7."""
+
+    label: str
+    seconds: float
+    step_speedup: float        # vs the previous rung
+    cumulative_speedup: float  # vs the cuFFT baseline
+
+
+def performance_breakdown(
+    kernel: StencilKernel,
+    grid_points: int,
+    steps: int,
+    gpu: GPUSpec,
+    fused_steps: int = 6,
+) -> list[BreakdownRung]:
+    """The five rungs of Figure 7 for ``kernel`` at paper scale."""
+    if kernel.ndim != 1:
+        raise PlanError("the Figure-7 breakdown is defined for 1-D kernels")
+    if grid_points < 1 or steps < 1:
+        raise PlanError("grid_points and steps must be >= 1")
+
+    # Measured coefficients: full config, and with Double-layer off.
+    plan = FlashFFTStencil((1 << 16,), kernel, fused_steps=fused_steps, gpu=gpu)
+    m_full = plan.measure()
+    plan_nodl = FlashFFTStencil(
+        (1 << 16,),
+        kernel,
+        fused_steps=fused_steps,
+        gpu=gpu,
+        config=StreamlineConfig(
+            double_layer=False, swizzle=False, squeeze_registers=False
+        ),
+    )
+    m_nodl = plan_nodl.measure()
+    applications = -(-steps // fused_steps)
+    n = float(grid_points)
+
+    import math
+
+    butterfly_flops_per_point = 10.0 * math.log2(max(plan.local_shape[0], 2))
+
+    rungs: list[tuple[str, KernelCost]] = [
+        (
+            "cuFFT stencil",
+            KernelCost(
+                flops=butterfly_flops_per_point * n * steps,
+                bytes=BYTES_PER_POINT_PER_APPLICATION * n * steps,
+                launches=3 * steps,
+                use_tensor_cores=False,
+                compute_efficiency=0.8,
+                memory_efficiency=0.9,
+            ),
+        ),
+        (
+            "+ Kernel Tailoring",
+            KernelCost(
+                flops=butterfly_flops_per_point * n * steps,
+                bytes=m_full.bytes_per_point * n * steps,
+                launches=steps,
+                use_tensor_cores=False,
+                compute_efficiency=BUTTERFLY_EFFICIENCY,
+                memory_efficiency=MEM_EFF_UNALIGNED,
+            ),
+        ),
+        (
+            "+ Tensor Cores",
+            KernelCost(
+                flops=m_nodl.flops_per_point * n * applications,
+                bytes=m_full.bytes_per_point * n * applications,
+                launches=applications,
+                use_tensor_cores=True,
+                compute_efficiency=m_nodl.tcu_utilization,
+                memory_efficiency=MEM_EFF_UNALIGNED,
+            ),
+        ),
+        (
+            "+ Architecture Aligning",
+            KernelCost(
+                flops=m_full.flops_per_point * n * applications,
+                bytes=m_full.bytes_per_point * n * applications,
+                launches=applications,
+                use_tensor_cores=True,
+                compute_efficiency=m_nodl.tcu_utilization,
+                memory_efficiency=MEM_EFF_ALIGNED,
+            ),
+        ),
+        (
+            "+ Computation Streamlining",
+            KernelCost(
+                flops=m_full.flops_per_point * n * applications,
+                bytes=m_full.bytes_per_point * n * applications,
+                launches=applications,
+                use_tensor_cores=True,
+                compute_efficiency=m_full.compute_efficiency,
+                memory_efficiency=MEM_EFF_ALIGNED,
+            ),
+        ),
+    ]
+
+    out: list[BreakdownRung] = []
+    t0 = prev = None
+    for label, cost in rungs:
+        t = execution_time(cost, gpu)
+        t0 = t if t0 is None else t0
+        out.append(
+            BreakdownRung(
+                label=label,
+                seconds=t,
+                step_speedup=(prev / t) if prev is not None else 1.0,
+                cumulative_speedup=t0 / t,
+            )
+        )
+        prev = t
+    return out

@@ -1,0 +1,86 @@
+"""Throughput and speedup bookkeeping for the Figure-6 comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines.base import MethodResult, StencilMethod
+from ..errors import PlanError
+from ..gpusim.spec import GPUSpec
+from ..workloads.configs import Workload
+
+__all__ = ["ComparisonCell", "ComparisonTable", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class ComparisonCell:
+    """One (method, workload) cell: modelled time and speedup vs FlashFFT."""
+
+    method: str
+    workload: str
+    seconds: float
+    gstencils: float
+    speedup_of_flash: float  # how much faster FlashFFTStencil is
+
+
+@dataclass
+class ComparisonTable:
+    """The full Figure-6 grid plus aggregate speedups."""
+
+    gpu: str
+    cells: list[ComparisonCell] = field(default_factory=list)
+
+    def methods(self) -> list[str]:
+        seen: list[str] = []
+        for c in self.cells:
+            if c.method not in seen:
+                seen.append(c.method)
+        return seen
+
+    def by_method(self, method: str) -> list[ComparisonCell]:
+        out = [c for c in self.cells if c.method == method]
+        if not out:
+            raise PlanError(f"no cells for method {method!r}")
+        return out
+
+    def average_speedup(self, method: str) -> float:
+        """Geometric-mean FlashFFT speedup over ``method`` across workloads."""
+        vals = [c.speedup_of_flash for c in self.by_method(method)]
+        return float(np.exp(np.mean(np.log(vals))))
+
+    def overall_average_speedup(self) -> float:
+        """Mean of per-method average speedups, excluding FlashFFT itself."""
+        others = [m for m in self.methods() if m != "FlashFFTStencil"]
+        if not others:
+            raise PlanError("comparison has no baseline methods")
+        return float(np.mean([self.average_speedup(m) for m in others]))
+
+
+def run_comparison(
+    methods: list[StencilMethod],
+    workloads: list[Workload],
+    gpu: GPUSpec,
+) -> ComparisonTable:
+    """Predict every (method, workload) cell and normalise to FlashFFT."""
+    if not any(m.name == "FlashFFTStencil" for m in methods):
+        raise PlanError("comparison requires a FlashFFTStencil entry")
+    table = ComparisonTable(gpu=gpu.name)
+    for w in workloads:
+        results: dict[str, MethodResult] = {
+            m.name: m.predict(w.kernel, w.points, w.time_steps, gpu)
+            for m in methods
+        }
+        flash = results["FlashFFTStencil"].seconds
+        for name, r in results.items():
+            table.cells.append(
+                ComparisonCell(
+                    method=name,
+                    workload=w.name,
+                    seconds=r.seconds,
+                    gstencils=r.gstencils,
+                    speedup_of_flash=r.seconds / flash,
+                )
+            )
+    return table

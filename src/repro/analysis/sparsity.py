@@ -1,0 +1,85 @@
+"""Figure-10 data: arithmetic intensity and fragment sparsity per TCU method.
+
+Two provenances are kept side by side and both reported:
+
+* ``published`` — the numbers the paper itself states (§1: arithmetic
+  intensities 2.78 / 3.59 / 7.41; §1/§5.4: LoRAStencil sparsity range
+  56.3-71.9 %, prior-work floor 24.5 %);
+* ``measured`` — what *our re-implementations* of each lowering actually
+  exhibit on the emulated TCU (exact fragment-level zero counts).
+
+FlashFFTStencil has no published sparsity (the claim is "fully dense"); its
+row is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..baselines.convstencil import ConvStencil
+from ..baselines.lorastencil import LoRAStencil
+from ..baselines.tcstencil import TCStencil
+from ..core.kernels import StencilKernel, heat_1d
+from ..core.plan import FlashFFTStencil
+from ..gpusim.roofline import arithmetic_intensity
+from ..gpusim.spec import A100, GPUSpec, H100
+
+__all__ = ["Figure10Row", "figure10_rows"]
+
+
+@dataclass(frozen=True)
+class Figure10Row:
+    """One method's point on Figure 10."""
+
+    method: str
+    published_intensity: float | None
+    measured_intensity: float
+    published_sparsity: float | None
+    measured_sparsity: float
+
+    def above_ridge(self, gpu: GPUSpec) -> bool:
+        """Whether the measured intensity clears the GPU's ridge point."""
+        return self.measured_intensity > gpu.ridge_point
+
+
+def figure10_rows(
+    kernel: StencilKernel | None = None,
+    gpu: GPUSpec = A100,
+    fused_steps: int = 6,
+) -> list[Figure10Row]:
+    """All four TCU methods' (intensity, sparsity) pairs.
+
+    ``kernel`` defaults to Heat-1D, the paper's running example.
+    """
+    kernel = kernel or heat_1d()
+    rows: list[Figure10Row] = []
+
+    for method in (TCStencil(), ConvStencil(), LoRAStencil()):
+        cost = method.cost(kernel, 1 << 20, 100, gpu)
+        rows.append(
+            Figure10Row(
+                method=method.name,
+                published_intensity=method.ARITHMETIC_INTENSITY,
+                measured_intensity=arithmetic_intensity(cost),
+                published_sparsity=method.SPARSITY,
+                measured_sparsity=method.measure_sparsity(kernel),
+            )
+        )
+
+    plan = FlashFFTStencil(
+        (1 << 15,) if kernel.ndim == 1 else tuple(128 for _ in range(kernel.ndim)),
+        kernel,
+        fused_steps=fused_steps,
+        gpu=gpu,
+    )
+    m = plan.measure()
+    rows.append(
+        Figure10Row(
+            method="FlashFFTStencil",
+            published_intensity=None,   # paper: "above the turning point"
+            measured_intensity=m.arithmetic_intensity,
+            published_sparsity=0.0,     # paper: fully dense
+            measured_sparsity=m.sparsity,
+        )
+    )
+    return rows

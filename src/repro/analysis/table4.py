@@ -1,0 +1,151 @@
+"""Table-4 machinery: Nsight-style memory and compute workload analysis.
+
+For each stencil kernel class (1D3P, 2D9P, 3D27P) and each technique state
+(with / without), three metrics are *measured from generated access streams
+and instruction traces* — never asserted:
+
+* **UGA** — percentage of uncoalesced global accesses.  The aligned variant
+  streams each segment sequentially (Diagonal Data Indexing keeps the PFA
+  remap out of global memory entirely); the unaligned variant performs the
+  PFA reorder as a strided global gather, plus per-axis staging passes.
+* **BC/R** — average shared-store bank conflicts per request.  The aligned
+  variant scatters by the diagonal walk (odd word stride covers all banks);
+  the unaligned variant stores interleaved complex pairs row-major
+  (even stride -> systematic two-way conflicts), the layout Double-layer
+  Filling replaces.
+* **PU** — TCU pipe utilization, from the executor's pipeline trace with
+  Computation Streamlining on (swizzle + register squeezing) vs off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernels import StencilKernel, box_2d9p, box_3d27p, heat_1d
+from ..core.pfa import best_coprime_split
+from ..core.streamline import StreamlineConfig, TCUStencilExecutor
+from ..core.tailoring import SegmentPlan
+from ..errors import PlanError
+from ..gpusim.memory import CoalescingReport, element_stream_to_warps
+from ..gpusim.smem import BankConflictReport
+
+__all__ = ["Table4Row", "table4_rows", "TABLE4_KERNELS"]
+
+#: The kernel classes of Table 4.
+TABLE4_KERNELS: dict[str, StencilKernel] = {
+    "1D3P": heat_1d(),
+    "2D9P": box_2d9p(),
+    "3D27P": box_3d27p(),
+}
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One column of Table 4 (metrics for one kernel class)."""
+
+    kernel: str
+    uga_without: float
+    uga_with: float
+    bc_per_request_without: float
+    bc_per_request_with: float
+    pipeline_util_without: float
+    pipeline_util_with: float
+
+
+def _global_streams(
+    kernel: StencilKernel, aligned: bool, segments: int = 8
+) -> CoalescingReport:
+    """Warp-level global-access streams for the segment load/store phases."""
+    if kernel.ndim == 1:
+        length = 504
+        n1, _n2 = best_coprime_split(length)
+    else:
+        length = 64
+        n1 = 8
+    rep = CoalescingReport()
+    for i in range(segments):
+        if aligned:
+            # Architecture Aligning also rounds window starts to transaction
+            # boundaries (16 FP64 elements per 128-B line).
+            base = i * (-(-(length - 2 * kernel.max_radius) // 16) * 16)
+        else:
+            base = i * (length - 2 * kernel.max_radius)
+        seq = base + np.arange(length)
+        for warp in element_stream_to_warps(seq):
+            rep.add(warp)                      # segment load
+        if not aligned:
+            # PFA reorder in global memory: one strided gather pass per
+            # segment plus one coalesced staging pass per middle axis.
+            gathered = base + (np.arange(length) * n1) % length
+            for warp in element_stream_to_warps(gathered):
+                rep.add(warp)
+            for _ in range(kernel.ndim - 1):
+                for warp in element_stream_to_warps(seq):
+                    rep.add(warp)
+        for warp in element_stream_to_warps(seq):
+            rep.add(warp)                      # result store
+    return rep
+
+
+def _smem_streams(kernel: StencilKernel, aligned: bool) -> BankConflictReport:
+    """Warp-level shared-memory store streams for the staging phase."""
+    # The diagonal store happens on the PFA-decomposed innermost axis; use
+    # each dimensionality's auto-tuned slice window factorisation.
+    from ..core.pfa import PFAPlan
+
+    n1, n2 = best_coprime_split({1: 504, 2: 312, 3: 504}[kernel.ndim])
+    total = n1 * n2
+    rep = BankConflictReport()
+    n = np.arange(total)
+    if aligned:
+        # Diagonal Data Indexing with the padded-row layout the PFA plan
+        # itself would generate (conflict-free by the parity argument in
+        # PFAPlan.smem_store_addresses, §3.2.2).
+        addrs = PFAPlan(n1, n2).smem_store_addresses()
+    else:
+        # Interleaved complex store, row-major: stride-2 words, so lanes
+        # pair up on even banks (the layout Double-layer Filling replaces).
+        addrs = (n * 2) * 8
+    for start in range(0, total - 31, 32):
+        rep.add(addrs[start : start + 32])
+    return rep
+
+
+def _pipeline_util(kernel: StencilKernel, streamlined: bool) -> float:
+    """TCU pipe utilization from an emulated fused-segment execution."""
+    cfg = (
+        StreamlineConfig()
+        if streamlined
+        else StreamlineConfig(swizzle=False, squeeze_registers=False)
+    )
+    steps = 2
+    if kernel.ndim == 1:
+        plan = SegmentPlan((2000,), kernel, steps, (500,))
+    elif kernel.ndim == 2:
+        plan = SegmentPlan((64, 112), kernel, steps, (32, 52))
+    else:
+        plan = SegmentPlan((32, 24, 56), kernel, steps, (16, 12, 24))
+    ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum(), cfg)
+    rng = np.random.default_rng(3)
+    res = ex.run(rng.standard_normal((4,) + plan.local_shape))
+    return res.pipeline.tcu_utilization
+
+
+def table4_rows() -> list[Table4Row]:
+    """Measure every Table-4 cell for the three kernel classes."""
+    rows = []
+    for name, kernel in TABLE4_KERNELS.items():
+        rows.append(
+            Table4Row(
+                kernel=name,
+                uga_without=_global_streams(kernel, aligned=False).uncoalesced_fraction,
+                uga_with=_global_streams(kernel, aligned=True).uncoalesced_fraction,
+                bc_per_request_without=_smem_streams(kernel, aligned=False).conflicts_per_request,
+                bc_per_request_with=_smem_streams(kernel, aligned=True).conflicts_per_request,
+                pipeline_util_without=_pipeline_util(kernel, streamlined=False),
+                pipeline_util_with=_pipeline_util(kernel, streamlined=True),
+            )
+        )
+    return rows

@@ -1,0 +1,55 @@
+"""Every comparator of the paper's Figure 6, re-implemented from scratch.
+
+Each method carries a real numerical implementation of its algorithmic idea
+(tested against the reference engine) plus a roofline cost model calibrated
+to its published characteristics — see :mod:`repro.baselines.base`.
+"""
+
+from .base import MethodResult, StencilMethod, gstencil_per_second
+from .brick import BrickDecomposition, BrickStencil, default_brick_shape
+from .convstencil import ConvStencil
+from .cuda_naive import DirectCUDAStencil
+from .cudnn import CuDNNStencil
+from .cufft import CuFFTStencil, standard_fft_footprint_bytes
+from .drstencil import DRStencil
+from .flashfft import FlashFFTMethod
+from .lorastencil import LoRAStencil, low_rank_factors
+from .mm_lowering import im2col_stencil, toeplitz_matrix, toeplitz_pass
+from .tcstencil import TCStencil
+
+__all__ = [
+    "BrickDecomposition",
+    "BrickStencil",
+    "ConvStencil",
+    "CuDNNStencil",
+    "CuFFTStencil",
+    "DRStencil",
+    "DirectCUDAStencil",
+    "FlashFFTMethod",
+    "LoRAStencil",
+    "MethodResult",
+    "StencilMethod",
+    "TCStencil",
+    "default_brick_shape",
+    "default_method_suite",
+    "gstencil_per_second",
+    "im2col_stencil",
+    "low_rank_factors",
+    "standard_fft_footprint_bytes",
+    "toeplitz_matrix",
+    "toeplitz_pass",
+]
+
+
+def default_method_suite(flash_fused_steps: int = 8) -> list[StencilMethod]:
+    """The Figure-6 line-up, FlashFFTStencil last (speedups are vs the rest)."""
+    return [
+        CuFFTStencil(),
+        CuDNNStencil(),
+        BrickStencil(),
+        DRStencil(),
+        TCStencil(),
+        ConvStencil(),
+        LoRAStencil(),
+        FlashFFTMethod(fused_steps=flash_fused_steps),
+    ]

@@ -1,0 +1,120 @@
+"""Common interface for all stencil methods compared in Figure 6.
+
+Every comparator implements two things:
+
+* ``apply`` — a *real, from-scratch numerical implementation* of the
+  method's algorithmic idea (bricked layouts, temporal-blocking tiles,
+  im2col MM lowering, low-rank factorised passes, ...), exact against the
+  reference engine at test scale; and
+* ``cost`` — a roofline :class:`~repro.gpusim.roofline.KernelCost` for the
+  paper-scale problem, built from the method's per-point traffic and flop
+  characteristics.
+
+Where a method's achieved efficiency on real silicon cannot be derived from
+first principles (it depends on engineering in the original artifact), the
+model is **calibrated against the numbers its own publication / this paper
+reports** — arithmetic intensities (2.78 / 3.59 / 7.41 for TCStencil /
+ConvStencil / LoRAStencil, §1), fragment sparsities (§5.4), and fusion caps
+(3 steps for ConvStencil/LoRAStencil, §4).  Each constant is documented at
+its definition site.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..errors import PlanError
+from ..gpusim.roofline import KernelCost, execution_time
+from ..gpusim.spec import GPUSpec
+
+__all__ = ["StencilMethod", "MethodResult", "gstencil_per_second"]
+
+
+def gstencil_per_second(points: int, steps: int, seconds: float) -> float:
+    """The paper's throughput metric: 1e9 point-updates per second."""
+    if seconds <= 0:
+        raise PlanError(f"seconds must be positive, got {seconds}")
+    return points * steps / seconds / 1e9
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """A modelled paper-scale outcome for one (method, workload, GPU) cell."""
+
+    method: str
+    seconds: float
+    gstencils: float
+    cost: KernelCost
+
+
+class StencilMethod(abc.ABC):
+    """One row of the Figure-6 comparison."""
+
+    #: Display name used in benchmark tables.
+    name: str = "abstract"
+    #: Whether the method executes on Tensor Cores (Figure 10 membership).
+    uses_tensor_cores: bool = False
+    #: Largest temporal fusion depth the method supports (None = unlimited).
+    max_fusion: int | None = 1
+
+    # ------------------------------------------------------------- numerics
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+    ) -> np.ndarray:
+        """Advance ``grid`` by ``steps`` — must equal the reference engine."""
+
+    def supports(self, kernel: StencilKernel) -> bool:
+        """Whether this method can run the given kernel (dimension limits)."""
+        return True
+
+    # ------------------------------------------------------------ modelling
+
+    @abc.abstractmethod
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        """Paper-scale resource totals for ``steps`` sweeps of the method."""
+
+    def predict(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> MethodResult:
+        """Convenience: cost -> modelled time -> GStencil/s."""
+        c = self.cost(kernel, grid_points, steps, gpu)
+        t = execution_time(c, gpu)
+        return MethodResult(
+            method=self.name,
+            seconds=t,
+            gstencils=gstencil_per_second(grid_points, steps, t),
+            cost=c,
+        )
+
+    # -------------------------------------------------------------- helpers
+
+    @staticmethod
+    def _check_args(grid_points: int, steps: int) -> None:
+        if grid_points < 1:
+            raise PlanError(f"grid_points must be >= 1, got {grid_points}")
+        if steps < 1:
+            raise PlanError(f"steps must be >= 1, got {steps}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

@@ -1,0 +1,177 @@
+"""Brick-layout stencil (Zhao et al., P3HPC'18 / SC'19) — fine-grained blocking.
+
+Bricks reorganise the grid into small fixed-size sub-blocks stored
+contiguously, so a thread block streams whole bricks with perfectly
+coalesced transactions and exchanges halos with the (at most 3^d - 1)
+neighbouring bricks through on-chip memory.  Performance comes from memory
+layout alone: arithmetic still runs per time step on CUDA cores, and there
+is no temporal fusion — which is why Figure 6 has FlashFFTStencil ~5.8x
+ahead on average despite bricks' excellent bandwidth utilisation.
+
+:class:`BrickDecomposition` is a real implementation: the grid is reshaped
+into a brick array, each sweep assembles every brick's halo from its
+neighbours (vectorised across all bricks), applies the stencil brick-locally
+and writes back — no global ``np.roll`` over the flat grid anywhere.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..errors import BoundaryError, PlanError
+from ..gpusim.roofline import KernelCost
+from ..gpusim.spec import GPUSpec
+from .base import StencilMethod
+
+__all__ = ["BrickDecomposition", "BrickStencil", "default_brick_shape"]
+
+
+def default_brick_shape(ndim: int) -> tuple[int, ...]:
+    """The brick sizes the Brick library favours per dimensionality."""
+    return {1: (64,), 2: (8, 8), 3: (4, 4, 4)}[ndim]
+
+
+def _shift_bricks(bricks: np.ndarray, axis: int, shift: int, periodic: bool) -> np.ndarray:
+    """Shift the *brick grid* by one brick along ``axis`` (wrap or zero-fill)."""
+    rolled = np.roll(bricks, shift, axis=axis)
+    if not periodic:
+        rolled = rolled.copy()
+        edge = [slice(None)] * rolled.ndim
+        edge[axis] = slice(0, shift) if shift > 0 else slice(shift, None)
+        rolled[tuple(edge)] = 0.0
+    return rolled
+
+
+class BrickDecomposition:
+    """A grid reorganised into contiguous bricks.
+
+    ``bricks`` has shape ``(B_0, ..., B_{d-1}, s_0, ..., s_{d-1})`` — brick
+    indices first, intra-brick offsets last — which is exactly the
+    array-of-bricks storage order of the Brick library.
+    """
+
+    def __init__(self, grid: np.ndarray, brick_shape: tuple[int, ...] | None = None):
+        grid = np.asarray(grid, dtype=np.float64)
+        self.grid_shape = grid.shape
+        self.brick_shape = brick_shape or default_brick_shape(grid.ndim)
+        if len(self.brick_shape) != grid.ndim:
+            raise PlanError(
+                f"brick shape {self.brick_shape} does not match {grid.ndim}-D grid"
+            )
+        for g, s in zip(grid.shape, self.brick_shape):
+            if g % s != 0:
+                raise PlanError(
+                    f"grid extent {g} not divisible by brick extent {s}"
+                )
+        self.counts = tuple(g // s for g, s in zip(grid.shape, self.brick_shape))
+        d = grid.ndim
+        # (B0, s0, B1, s1, ...) -> (B0, B1, ..., s0, s1, ...)
+        interleaved = grid.reshape(
+            tuple(x for pair in zip(self.counts, self.brick_shape) for x in pair)
+        )
+        order = tuple(range(0, 2 * d, 2)) + tuple(range(1, 2 * d, 2))
+        self.bricks = np.ascontiguousarray(interleaved.transpose(order))
+
+    def to_grid(self) -> np.ndarray:
+        """Reassemble the canonical row-major grid."""
+        d = len(self.grid_shape)
+        inv = []
+        for i in range(d):
+            inv.extend([i, d + i])
+        return self.bricks.transpose(inv).reshape(self.grid_shape)
+
+    def padded_bricks(self, halo: tuple[int, ...], periodic: bool) -> np.ndarray:
+        """Every brick with its halo assembled from neighbouring bricks.
+
+        Returns shape ``(*counts, *(s_i + 2*halo_i))``.  Halos must not
+        exceed one brick (the Brick library's ghost-exchange constraint).
+        """
+        d = len(self.grid_shape)
+        for r, s in zip(halo, self.brick_shape):
+            if r > s:
+                raise PlanError(
+                    f"halo {halo} exceeds brick shape {self.brick_shape}"
+                )
+        padded = self.bricks
+        for ax in range(d):
+            r = halo[ax]
+            if r == 0:
+                continue
+            eax = d + ax  # element axis being padded
+            s = padded.shape[eax]
+            lo_src = _shift_bricks(padded, ax, +1, periodic)
+            hi_src = _shift_bricks(padded, ax, -1, periodic)
+            take_last = [slice(None)] * padded.ndim
+            take_last[eax] = slice(s - r, s)
+            take_first = [slice(None)] * padded.ndim
+            take_first[eax] = slice(0, r)
+            padded = np.concatenate(
+                [lo_src[tuple(take_last)], padded, hi_src[tuple(take_first)]],
+                axis=eax,
+            )
+        return padded
+
+
+class BrickStencil(StencilMethod):
+    """Per-step stencil over a brick decomposition with halo exchange."""
+
+    name = "Brick"
+    uses_tensor_cores = False
+    max_fusion = 1
+
+    MEMORY_EFFICIENCY = 0.90   # the whole point of the layout
+    COMPUTE_EFFICIENCY = 0.55  # CUDA-core FMAs with halo branching
+
+    def __init__(self, brick_shape: tuple[int, ...] | None = None):
+        self.brick_shape = brick_shape
+
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+    ) -> np.ndarray:
+        if boundary not in ("periodic", "zero"):
+            raise BoundaryError(f"unsupported boundary {boundary!r}")
+        periodic = boundary == "periodic"
+        deco = BrickDecomposition(grid, self.brick_shape)
+        halo = kernel.radius
+        d = len(deco.grid_shape)
+        for _ in range(steps):
+            padded = deco.padded_bricks(halo, periodic)
+            out = np.zeros_like(deco.bricks)
+            for off, w in zip(kernel.offsets, kernel.weights):
+                sl = [slice(None)] * d + [
+                    slice(r + o, r + o + s)
+                    for r, o, s in zip(halo, off, deco.brick_shape)
+                ]
+                out += w * padded[tuple(sl)]
+            deco.bricks = out
+        return deco.to_grid()
+
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        self._check_args(grid_points, steps)
+        shape = default_brick_shape(kernel.ndim)
+        halo_factor = float(
+            np.prod([(s + 2 * r) / s for s, r in zip(shape, kernel.radius)])
+        )
+        bytes_per_step = (8.0 * halo_factor + 8.0) * grid_points
+        flops_per_step = kernel.flops_per_point() * grid_points
+        return KernelCost(
+            flops=flops_per_step * steps,
+            bytes=bytes_per_step * steps,
+            launches=steps,
+            use_tensor_cores=False,
+            compute_efficiency=self.COMPUTE_EFFICIENCY,
+            memory_efficiency=self.MEMORY_EFFICIENCY,
+            label=self.name,
+        )

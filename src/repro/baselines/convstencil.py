@@ -1,0 +1,154 @@
+"""ConvStencil (Chen et al., PPoPP'24) — stencil as Toeplitz-tile MM.
+
+ConvStencil's layout transformation turns blocks of consecutive outputs into
+dense(ish) matrix products: a tile of 8 outputs along the contiguous axis is
+``T @ B`` with ``T`` the banded 8 x (8 + M - 1) weight operator.  The band
+structure is the method's sparsity: off-band slots of every ``T`` fragment
+are structural zeros, and fragment padding adds more (the paper's §5.4 puts
+the prior-TCU sparsity floor at 24.5 %).
+
+Multi-dimensional kernels decompose into one Toeplitz pass along the
+contiguous axis per cross-axis offset plane — which is how a conv-as-MM
+lowering actually factorises a d-dimensional weighted window.
+
+Temporal fusion exists but is capped: pre-computing fused weights explodes
+the parameter count, limiting ConvStencil to 3 fused steps (§4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..gpusim.roofline import KernelCost
+from ..gpusim.spec import GPUSpec
+from ..gpusim.tensorcore import MMAStats
+from .base import StencilMethod
+from .mm_lowering import toeplitz_pass
+
+__all__ = ["ConvStencil"]
+
+
+def _cross_offset_profiles(kernel: StencilKernel) -> dict[tuple[int, ...], np.ndarray]:
+    """Group taps by their leading-axes offset into last-axis weight profiles."""
+    r_last = kernel.radius[-1]
+    profiles: dict[tuple[int, ...], np.ndarray] = defaultdict(
+        lambda: np.zeros(2 * r_last + 1)
+    )
+    for off, w in zip(kernel.offsets, kernel.weights):
+        profiles[tuple(off[:-1])][r_last + off[-1]] += w
+    return dict(profiles)
+
+
+class ConvStencil(StencilMethod):
+    """Toeplitz-tile MM lowering with fused weights (cap: 3 steps)."""
+
+    name = "ConvStencil"
+    uses_tensor_cores = True
+    #: §4: parameter explosion caps temporal fusion at 3 steps.
+    max_fusion = 3
+
+    #: Published arithmetic intensity (paper §1).
+    ARITHMETIC_INTENSITY = 3.59
+    #: Structural band sparsity plus fragment padding; the paper's reported
+    #: prior-work sparsity floor (no less than 24.5%) is ConvStencil's.
+    SPARSITY = 0.52
+    #: Effective HBM bytes per point per step: read amplified by the band
+    #: duplication 1/(1-SPARSITY) plus the output write, amortised over the
+    #: 3-step fused weights — calibrated to the paper's ~2.57x Figure-6 gap.
+    BYTES_PER_POINT_STEP = (8.0 / (1.0 - SPARSITY) + 8.0) / 3.0
+    MEMORY_EFFICIENCY = 0.85
+    COMPUTE_EFFICIENCY = 0.45
+
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+        stats: MMAStats | None = None,
+    ) -> np.ndarray:
+        out = np.asarray(grid, dtype=np.float64)
+        remaining = steps
+        # Fused weights assume untruncated evolution; under zero boundaries
+        # that breaks within the halo band, so fusion is periodic-only here.
+        fusion = self.max_fusion if boundary == "periodic" else 1
+        while remaining > 0:
+            t = min(fusion, remaining)
+            fused = kernel.fused(t) if t > 1 else kernel
+            out = self._one_application(out, fused, boundary, stats)
+            remaining -= t
+        return out
+
+    def _one_application(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        boundary: Boundary,
+        stats: MMAStats | None,
+    ) -> np.ndarray:
+        if kernel.ndim == 1:
+            profile = _cross_offset_profiles(kernel)[()]
+            return toeplitz_pass(grid, profile, boundary, stats)
+        out = np.zeros_like(grid)
+        ndim = grid.ndim
+        for cross, profile in _cross_offset_profiles(kernel).items():
+            if boundary == "periodic":
+                shifted = np.roll(
+                    grid, tuple(-o for o in cross), tuple(range(ndim - 1))
+                )
+            else:
+                shifted = _zero_shift(grid, cross)
+            out += toeplitz_pass(shifted, profile, boundary, stats)
+        return out
+
+    def measure_sparsity(
+        self, kernel: StencilKernel, extent: int = 24, seed: int = 0
+    ) -> float:
+        """Fragment sparsity of the lowering, measured on the emulated TCU."""
+        rng = np.random.default_rng(seed)
+        shape = tuple(max(extent, 4 * m) for m in kernel.footprint_lengths)
+        stats = MMAStats()
+        self.apply(rng.standard_normal(shape), kernel, 1, "periodic", stats)
+        return stats.sparsity
+
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        self._check_args(grid_points, steps)
+        bytes_total = self.BYTES_PER_POINT_STEP * grid_points * steps
+        applications = -(-steps // self.max_fusion)
+        return KernelCost(
+            flops=bytes_total * self.ARITHMETIC_INTENSITY,
+            bytes=bytes_total,
+            launches=applications,
+            use_tensor_cores=True,
+            compute_efficiency=self.COMPUTE_EFFICIENCY,
+            memory_efficiency=self.MEMORY_EFFICIENCY,
+            label=self.name,
+        )
+
+
+def _zero_shift(grid: np.ndarray, cross: tuple[int, ...]) -> np.ndarray:
+    """Shift the leading axes by ``-cross`` with zero fill (Dirichlet reads)."""
+    out = np.zeros_like(grid)
+    src = []
+    dst = []
+    for o, s in zip(cross, grid.shape):
+        if o >= 0:
+            src.append(slice(o, s))
+            dst.append(slice(0, s - o))
+        else:
+            src.append(slice(0, s + o))
+            dst.append(slice(-o, s))
+    src.append(slice(None))
+    dst.append(slice(None))
+    out[tuple(dst)] = grid[tuple(src)]
+    return out

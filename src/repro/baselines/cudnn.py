@@ -1,0 +1,77 @@
+"""cuDNN-style convolution-lowered stencil — the other indirect baseline.
+
+A stencil sweep *is* a (cross-)correlation, so it can be pushed through a
+deep-learning convolution engine.  The catch the paper highlights (§2.5):
+stencil grids are one giant single-channel image, and implicit-GEMM
+convolution earns its throughput from *channel* reuse.  With C = K = 1 the
+im2col operand re-reads each input point once per kernel tap with no reuse
+dimension to amortise it, and the MMA tiles are almost entirely padding —
+hence cuDNN's 1.9x-103x losses in Figure 6, worst for Box-3D27P where the
+tap count is largest.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..errors import BoundaryError
+from ..gpusim.roofline import KernelCost
+from ..gpusim.spec import GPUSpec
+from .base import StencilMethod
+
+__all__ = ["CuDNNStencil"]
+
+
+class CuDNNStencil(StencilMethod):
+    """Per-step single-channel implicit-GEMM convolution."""
+
+    name = "cuDNN-stencil"
+    uses_tensor_cores = True
+    max_fusion = 1  # a convolution layer has no time axis to fuse (§2.5)
+
+    MEMORY_EFFICIENCY = 0.70   # strided im2col gather
+    #: Single-channel MMA tiles are ~1/16 useful (k = C*r*s tiny vs tile k).
+    COMPUTE_EFFICIENCY = 0.10
+
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+    ) -> np.ndarray:
+        if boundary not in ("periodic", "zero"):
+            raise BoundaryError(f"unsupported boundary {boundary!r}")
+        mode = "wrap" if boundary == "periodic" else "constant"
+        out = np.asarray(grid, dtype=np.float64)
+        weights = kernel.dense()
+        for _ in range(steps):
+            out = ndimage.correlate(out, weights, mode=mode, cval=0.0)
+        return out
+
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        self._check_args(grid_points, steps)
+        n = grid_points
+        taps = kernel.points
+        # im2col: every tap is a separate 8-byte read (no channel reuse),
+        # plus the 8-byte output write, per point per step.
+        bytes_per_step = (8.0 * taps + 8.0) * n
+        flops_per_step = kernel.flops_per_point() * n
+        return KernelCost(
+            flops=flops_per_step * steps,
+            bytes=bytes_per_step * steps,
+            launches=2 * steps,  # im2col/transform + GEMM
+            use_tensor_cores=True,
+            compute_efficiency=self.COMPUTE_EFFICIENCY,
+            memory_efficiency=self.MEMORY_EFFICIENCY,
+            label=self.name,
+        )

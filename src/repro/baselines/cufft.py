@@ -1,0 +1,114 @@
+"""cuFFT-based standard FFT stencil — the paper's primary indirect baseline.
+
+This is the Figure-2(left) pipeline the whole of §3.1 argues against: each
+(possibly temporally fused) application launches **three separate kernels**
+— forward FFT, element-wise multiply, inverse FFT — and every kernel round
+trips the full complex grid through HBM.  Temporal fusion *is* available
+(the spectrum power, same theory as FlashFFTStencil), which is why Figure 9
+uses this method as the only fusion-flexible comparator.
+
+Traffic accounting per fused application (complex-to-complex transforms, as
+the best general cuFFT path executes for this pipeline):
+
+* FFT kernel:     read 16 B + write 16 B per point
+* multiply:       read value 16 B + read k_f 16 B + write 16 B per point
+* iFFT kernel:    read 16 B + write 16 B per point
+
+i.e. 112 B per point per application, versus FlashFFTStencil's ~18 B — the
+>3x HBM transfer reduction §3.1 claims is measured against exactly this.
+
+The memory *footprint* model (Figure 8) additionally charges cuFFT's
+workspace and its padding of awkward lengths to the next power of two; see
+:func:`standard_fft_footprint_bytes`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..core.spectral import apply_fft_stencil
+from ..errors import PlanError
+from ..gpusim.roofline import KernelCost
+from ..gpusim.spec import GPUSpec
+from .base import StencilMethod
+
+__all__ = ["CuFFTStencil", "standard_fft_footprint_bytes"]
+
+#: HBM bytes per point per fused application (three-kernel pipeline above).
+BYTES_PER_POINT_PER_APPLICATION = 112.0
+
+
+def standard_fft_footprint_bytes(grid_points: int) -> int:
+    """Device-memory footprint of the best standard cuFFT stencil pipeline.
+
+    Real input and output buffers, five complex working arrays (the
+    complex-cast input, its spectrum, the transformed kernel, the product,
+    and the inverse result — each kernel in the three-kernel pipeline is
+    out-of-place), and cuFFT's workspace, with complex buffers padded to
+    the next power of two as cuFFT prefers for composite lengths.
+    """
+    if grid_points < 1:
+        raise PlanError(f"grid_points must be >= 1, got {grid_points}")
+    padded = 1 << math.ceil(math.log2(grid_points))
+    real_io = 2 * 8 * grid_points
+    complex_work = 5 * 16 * padded
+    workspace = 16 * padded
+    return real_io + complex_work + workspace
+
+
+class CuFFTStencil(StencilMethod):
+    """Whole-domain FFT stencil with per-application kernel round trips."""
+
+    name = "cuFFT-stencil"
+    uses_tensor_cores = False
+    max_fusion = None  # spectrum powers: unrestricted, like FlashFFTStencil
+
+    MEMORY_EFFICIENCY = 0.90   # large streaming transfers coalesce well
+    COMPUTE_EFFICIENCY = 0.80  # cuFFT's tuned butterflies
+
+    def __init__(self, fused_steps: int = 1) -> None:
+        if fused_steps < 1:
+            raise PlanError(f"fused_steps must be >= 1, got {fused_steps}")
+        self.fused_steps = fused_steps
+
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+    ) -> np.ndarray:
+        out = np.asarray(grid, dtype=np.float64)
+        full, rem = divmod(steps, self.fused_steps)
+        for _ in range(full):
+            out = apply_fft_stencil(out, kernel, self.fused_steps, boundary)
+        if rem:
+            out = apply_fft_stencil(out, kernel, rem, boundary)
+        return out
+
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        self._check_args(grid_points, steps)
+        applications = -(-steps // self.fused_steps)
+        n = grid_points
+        # 5 n log2 n real flops per complex FFT direction, plus the multiply.
+        fft_flops = 5.0 * n * math.log2(max(n, 2))
+        flops_per_app = 2.0 * fft_flops + 6.0 * n
+        return KernelCost(
+            flops=flops_per_app * applications,
+            bytes=BYTES_PER_POINT_PER_APPLICATION * n * applications,
+            launches=3 * applications,
+            use_tensor_cores=False,
+            compute_efficiency=self.COMPUTE_EFFICIENCY,
+            memory_efficiency=self.MEMORY_EFFICIENCY,
+            label=self.name,
+        )

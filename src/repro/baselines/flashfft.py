@@ -1,0 +1,65 @@
+"""FlashFFTStencil wrapped in the common comparison interface.
+
+The numerics delegate to :class:`repro.core.plan.FlashFFTStencil`; the cost
+model is the measurement-driven one from :meth:`FlashFFTStencil.measure`,
+cached per (kernel, fusion) pair so Figure-6 sweeps don't re-emulate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.plan import FlashFFTStencil
+from ..core.reference import Boundary
+from ..gpusim.roofline import KernelCost
+from ..gpusim.spec import GPUSpec
+from .base import StencilMethod
+
+__all__ = ["FlashFFTMethod"]
+
+
+class FlashFFTMethod(StencilMethod):
+    """The paper's system as a Figure-6 row."""
+
+    name = "FlashFFTStencil"
+    uses_tensor_cores = True
+    max_fusion = None  # Equation (10): unrestricted
+
+    def __init__(self, fused_steps: int = 8) -> None:
+        self.fused_steps = fused_steps
+        self._measurements: dict[tuple, object] = {}
+
+    def apply(
+        self,
+        grid: np.ndarray,
+        kernel: StencilKernel,
+        steps: int,
+        boundary: Boundary = "periodic",
+    ) -> np.ndarray:
+        grid = np.asarray(grid, dtype=np.float64)
+        fused = min(self.fused_steps, max(steps, 1))
+        plan = FlashFFTStencil(grid.shape, kernel, fused_steps=fused, boundary=boundary)
+        return plan.run(grid, steps)
+
+    def cost(
+        self,
+        kernel: StencilKernel,
+        grid_points: int,
+        steps: int,
+        gpu: GPUSpec,
+    ) -> KernelCost:
+        self._check_args(grid_points, steps)
+        fused = min(self.fused_steps, steps)
+        key = (kernel.name, kernel.points, fused, gpu.name)
+        if key not in self._measurements:
+            # A representative grid large enough that the auto-tuned tile is
+            # never clamped: the per-point coefficients are size-independent.
+            rep_shape = {1: (8192,), 2: (512, 1536), 3: (512, 128, 1536)}[kernel.ndim]
+            plan = FlashFFTStencil(rep_shape, kernel, fused_steps=fused, gpu=gpu)
+            self._measurements[key] = (
+                plan,
+                plan.measure(sample_segments=4 if kernel.ndim == 1 else 2),
+            )
+        plan, measurement = self._measurements[key]
+        return plan.paper_scale_cost(grid_points, steps, measurement)

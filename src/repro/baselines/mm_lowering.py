@@ -1,0 +1,143 @@
+"""Matrix-multiplication lowerings shared by the TCU-stencil baselines.
+
+The three prior TCU stencils (TCStencil, ConvStencil, LoRAStencil) all
+reinterpret the stencil as matrix products but differ in *which* matrices:
+
+* **im2col** (:func:`im2col_stencil`): the weight row (1 x P) times a
+  gathered neighbourhood matrix (P x n) — the most direct lowering, and the
+  most fragment-sparse: one useful row of eight in every A fragment.
+* **Toeplitz tiles** (:func:`toeplitz_pass`): blocks of 8 consecutive
+  outputs along an axis computed as ``T @ B`` where ``T`` is the 8 x (8+2r)
+  banded weight matrix — ConvStencil's flavour of lowering.  ``T`` is dense
+  only on its band; everything off-band is the structural sparsity
+  Figure 10 charges these methods with.
+
+Both run on the emulated TCU so their *actual* fragment sparsity is
+measured, not asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary
+from ..errors import BoundaryError, PlanError
+from ..gpusim.tensorcore import MMAStats, tc_matmul
+
+__all__ = ["toeplitz_matrix", "toeplitz_pass", "im2col_stencil"]
+
+#: Output-tile height used by the Toeplitz lowering (the fragment m-dim).
+TILE = 8
+
+
+def toeplitz_matrix(weights: np.ndarray, tile: int = TILE) -> np.ndarray:
+    """The banded ``tile x (tile + M - 1)`` operator for a 1-D weight profile.
+
+    ``weights`` is offset-indexed (``weights[r + o]`` multiplies the
+    neighbour at ``+o``); row ``j`` of the result computes output ``j`` of a
+    tile from the ``tile + M - 1`` gathered inputs starting at ``-r``.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    m = weights.size
+    t = np.zeros((tile, tile + m - 1))
+    for j in range(tile):
+        t[j, j : j + m] = weights
+    return t
+
+
+def _gather_tiles(
+    arr: np.ndarray, radius: int, periodic: bool
+) -> tuple[np.ndarray, int]:
+    """Gather per-tile input columns along the last axis.
+
+    Returns ``(B, ntiles)`` where ``B`` has shape
+    ``(..., ntiles, TILE + 2*radius)``: tile ``b`` needs inputs
+    ``[b*TILE - radius, b*TILE + TILE + radius)``.
+    """
+    n = arr.shape[-1]
+    ntiles = -(-n // TILE)
+    width = TILE + 2 * radius
+    starts = np.arange(ntiles) * TILE - radius
+    idx = starts[:, None] + np.arange(width)[None, :]
+    if periodic:
+        cols = arr[..., idx % n]
+    else:
+        padded = np.pad(
+            arr,
+            [(0, 0)] * (arr.ndim - 1) + [(radius, radius + ntiles * TILE - n)],
+        )
+        cols = padded[..., idx + radius]
+    return cols, ntiles
+
+
+def toeplitz_pass(
+    arr: np.ndarray,
+    weights: np.ndarray,
+    boundary: Boundary = "periodic",
+    stats: MMAStats | None = None,
+    axis: int = -1,
+) -> np.ndarray:
+    """Apply a 1-D weight profile along ``axis`` via tiled Toeplitz MMs.
+
+    Equivalent to ``y[i] = sum_o weights[r+o] * x[i+o]`` along the axis,
+    executed as one emulated-TCU product ``T @ B`` with all tiles and all
+    other axes batched along the MMA ``n`` dimension.
+    """
+    if boundary not in ("periodic", "zero"):
+        raise BoundaryError(f"unsupported boundary {boundary!r}")
+    arr = np.asarray(arr, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 1 or weights.size % 2 == 0:
+        raise PlanError(
+            f"weight profile must be 1-D of odd length, got shape {weights.shape}"
+        )
+    radius = weights.size // 2
+    work = np.moveaxis(arr, axis, -1)
+    n = work.shape[-1]
+    if n < weights.size:
+        raise PlanError(f"axis extent {n} smaller than profile {weights.size}")
+    cols, ntiles = _gather_tiles(work, radius, periodic=(boundary == "periodic"))
+    # (..., ntiles, width) -> (width, batch) for one big dense-n product.
+    b = np.moveaxis(cols, -1, 0).reshape(cols.shape[-1], -1)
+    t = toeplitz_matrix(weights)
+    prod = tc_matmul(t, b, stats)                      # (TILE, batch)
+    out_tiles = prod.reshape((TILE,) + cols.shape[:-1])
+    out_tiles = np.moveaxis(out_tiles, 0, -1)          # (..., ntiles, TILE)
+    out = out_tiles.reshape(work.shape[:-1] + (ntiles * TILE,))[..., :n]
+    return np.moveaxis(out, -1, axis)
+
+
+def im2col_stencil(
+    grid: np.ndarray,
+    kernel: StencilKernel,
+    boundary: Boundary = "periodic",
+    stats: MMAStats | None = None,
+) -> np.ndarray:
+    """One stencil sweep as ``W (1 x P) @ X (P x n)`` on the emulated TCU."""
+    if boundary not in ("periodic", "zero"):
+        raise BoundaryError(f"unsupported boundary {boundary!r}")
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != kernel.ndim:
+        raise PlanError(
+            f"grid is {grid.ndim}-D but kernel {kernel.name!r} is {kernel.ndim}-D"
+        )
+    rows = []
+    if boundary == "periodic":
+        for off in kernel.offsets:
+            rows.append(
+                np.roll(grid, tuple(-o for o in off), tuple(range(grid.ndim))).ravel()
+            )
+    else:
+        r = kernel.radius
+        padded = np.pad(grid, [(ri, ri) for ri in r])
+        for off in kernel.offsets:
+            sl = tuple(
+                slice(ri + oi, ri + oi + s)
+                for ri, oi, s in zip(r, off, grid.shape)
+            )
+            rows.append(padded[sl].ravel())
+    x = np.stack(rows, axis=0)                        # (P, n)
+    w = np.asarray(kernel.weights, dtype=np.float64)[None, :]
+    out = tc_matmul(w, x, stats)                      # (1, n)
+    return out.reshape(grid.shape)

@@ -1,0 +1,82 @@
+"""The paper's primary contribution: FFT-bridged stencil computation.
+
+Public surface:
+
+* :class:`~repro.core.kernels.StencilKernel` and the Table-3 kernel zoo
+* :func:`~repro.core.reference.apply_stencil` / ``run_stencil`` — ground truth
+* :func:`~repro.core.spectral.apply_fft_stencil` — whole-domain FFT stencil
+* :class:`~repro.core.tailoring.SegmentPlan` — Kernel Tailoring (§3.1)
+* :class:`~repro.core.pfa.PFAPlan` — PFA + Diagonal Data Indexing (§3.2)
+* :mod:`~repro.core.double_layer` — Double-layer Filling (§3.2.3)
+* :class:`~repro.core.streamline.TCUStencilExecutor` — Algorithm 1 (§3.3)
+* :class:`~repro.core.plan.FlashFFTStencil` — the assembled system
+"""
+
+from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
+from .dft import dft_matrix, idft_from_dft, idft_matrix, permuted_dft
+from .double_layer import filter_pair, pack_pair, split_packed_spectrum, unpack_pair
+from .kernels import (
+    KERNEL_ZOO,
+    StencilKernel,
+    box_2d9p,
+    box_3d27p,
+    heat_1d,
+    heat_2d,
+    heat_3d,
+    kernel_by_name,
+    star_1d5p,
+    star_1d7p,
+)
+from .pfa import PFAPlan, best_coprime_split, coprime_splits, diagonal_walk, pfa_dft, pfa_idft
+from .plan import FlashFFTMeasurement, FlashFFTStencil
+from .reference import apply_stencil, run_stencil
+from .spectral import apply_fft_stencil, fft_stencil_periodic, fft_stencil_zero
+from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
+from .tailoring import SegmentPlan, tailored_fft_stencil
+from .wave import TwoStepStencil, WaveFFTPlan, run_two_step_reference, wave_equation
+
+__all__ = [
+    "KERNEL_ZOO",
+    "FlashFFTMeasurement",
+    "FlashFFTStencil",
+    "PFAPlan",
+    "SegmentPlan",
+    "StencilKernel",
+    "StreamlineConfig",
+    "StreamlineResult",
+    "TCUStencilExecutor",
+    "TunedSegment",
+    "apply_fft_stencil",
+    "apply_stencil",
+    "best_coprime_split",
+    "box_2d9p",
+    "box_3d27p",
+    "choose_segment_length",
+    "choose_tile_shape",
+    "coprime_splits",
+    "dft_matrix",
+    "diagonal_walk",
+    "fft_stencil_periodic",
+    "fft_stencil_zero",
+    "filter_pair",
+    "heat_1d",
+    "heat_2d",
+    "heat_3d",
+    "idft_from_dft",
+    "idft_matrix",
+    "kernel_by_name",
+    "pack_pair",
+    "permuted_dft",
+    "pfa_dft",
+    "pfa_idft",
+    "run_stencil",
+    "split_packed_spectrum",
+    "star_1d5p",
+    "star_1d7p",
+    "tailored_fft_stencil",
+    "TwoStepStencil",
+    "WaveFFTPlan",
+    "run_two_step_reference",
+    "wave_equation",
+    "unpack_pair",
+]

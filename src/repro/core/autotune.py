@@ -1,0 +1,219 @@
+"""Segment-length auto-tuning — Equation (5) of the paper.
+
+The elastic segment length ``L`` trades per-segment efficiency (the valid
+fraction ``S / L = (L - 2*T*r) / L`` grows with ``L``) against on-chip
+residency: one block must hold the complex window, the DFT matrices, and the
+transformed kernel in shared memory, with ``p`` blocks co-resident per SM.
+The paper's constraint is
+
+    L = a * T * (T - 1),      2 * a * T**2 * p <= C          (Eq. 5)
+
+with ``T`` the fragment dimension (8 for FP64 WMMA) and ``C`` the on-chip
+capacity in elements.  ``T * (T - 1) = 56 = 8 * 7`` is itself a co-prime
+product, so every candidate keeps a PFA factorisation with an 8-aligned
+factor available.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+from ..gpusim.spec import GPUSpec
+from .kernels import StencilKernel
+from .pfa import _fragment_pad_waste, best_coprime_split, coprime_splits
+
+__all__ = ["TunedSegment", "choose_segment_length", "choose_tile_shape"]
+
+
+def _useful_fraction(seg: "TunedSegment") -> float:
+    """Joint merit: valid-output fraction times dense-fragment fraction.
+
+    Maximising ``S/L`` alone would tolerate splits whose DFT matrices pad
+    badly into 8x4 fragments (wasted TCU work); weighting by the kept
+    (non-padding) fragment fraction of both DFT matrices selects windows
+    that are simultaneously halo-efficient and (near-)fully dense.
+    """
+    n1, n2 = seg.pfa_split
+    dense = (1.0 - _fragment_pad_waste(n1)) * (1.0 - _fragment_pad_waste(n2))
+    return seg.efficiency * dense
+
+#: FP64 WMMA fragment dimension (the paper's ``T`` in Eq. (5)).
+FRAGMENT_T = 8
+
+
+@dataclass(frozen=True)
+class TunedSegment:
+    """Outcome of Eq. (5) tuning for a 1-D fused stencil."""
+
+    length: int                # L
+    valid: int                 # S = L - 2*halo
+    halo: int                  # T_steps * radius
+    pfa_split: tuple[int, int]
+    a: int                     # the integer multiplier in L = a*T*(T-1)
+    smem_bytes: int            # modelled shared-memory demand per block
+
+    @property
+    def efficiency(self) -> float:
+        """Useful output fraction of each window, ``S / L``."""
+        return self.valid / self.length
+
+
+def _smem_demand_bytes(length: int) -> int:
+    """Shared memory one block needs for a length-``L`` fused window.
+
+    Complex window (16 B per element, transformed in place) plus the two PFA
+    DFT matrices (``N1^2 + N2^2`` complex; the inverses are recomputed, not
+    stored — Squeezing Registers) and the transformed kernel (``L`` complex).
+    """
+    n1, n2 = best_coprime_split(length)
+    window = length * 16
+    matrices = (n1 * n1 + n2 * n2) * 16
+    kf = length * 16
+    return window + matrices + kf
+
+
+def choose_segment_length(
+    kernel: StencilKernel,
+    steps: int,
+    spec: GPUSpec,
+    blocks_per_sm: int = 2,
+    max_a: int = 64,
+) -> TunedSegment:
+    """Pick the largest Eq.-(5) ``L`` whose working set fits ``p`` blocks/SM.
+
+    Only 1-D kernels route through PFA tuning; use :func:`choose_tile_shape`
+    for multi-dimensional stencils.
+    """
+    if kernel.ndim != 1:
+        raise PlanError(
+            f"Eq. (5) tuning applies to 1-D kernels, got {kernel.ndim}-D"
+        )
+    if steps < 1:
+        raise PlanError(f"steps must be >= 1, got {steps}")
+    if blocks_per_sm < 1:
+        raise PlanError(f"blocks_per_sm must be >= 1, got {blocks_per_sm}")
+    halo = steps * kernel.max_radius
+    t = FRAGMENT_T
+    best: TunedSegment | None = None
+    for a in range(1, max_a + 1):
+        length = a * t * (t - 1)
+        if length <= 2 * halo:          # S must be positive (Eq. 4)
+            continue
+        if not coprime_splits(length):
+            continue
+        smem = _smem_demand_bytes(length)
+        if smem * blocks_per_sm > spec.smem_per_sm_bytes:
+            break                        # demand grows with a; stop searching
+        cand = TunedSegment(
+            length=length,
+            valid=length - 2 * halo,
+            halo=halo,
+            pfa_split=best_coprime_split(length),
+            a=a,
+            smem_bytes=smem,
+        )
+        if best is None or _useful_fraction(cand) > _useful_fraction(best):
+            best = cand
+    if best is None:
+        raise PlanError(
+            f"no Eq.(5) segment length fits: halo={halo}, "
+            f"smem={spec.smem_per_sm_bytes} B, p={blocks_per_sm}"
+        )
+    return best
+
+
+def choose_tile_shape(
+    kernel: StencilKernel,
+    steps: int,
+    spec: GPUSpec,
+    blocks_per_sm: int = 2,
+) -> tuple[int, ...]:
+    """Valid-tile shape ``S`` per axis for multi-dimensional stencils.
+
+    Multi-dimensional windows skip PFA (2-D windows are already
+    matrix-shaped; 3-D uses 2-D slice processing with a banded accumulation
+    along axis 0).  The tuner searches fragment-aligned candidates and
+    minimises the modelled per-point time
+
+        t = max( flops / TC-peak , bytes / bandwidth )
+
+    where the transform flops grow with the transformed window extents and
+    the traffic grows with the halo read-amplification — the real trade
+    Kernel Tailoring navigates.  Candidates whose resident working set
+    (2-D slice window + DFT matrices, ``blocks_per_sm`` blocks) exceed
+    shared memory are discarded.
+    """
+    if steps < 1:
+        raise PlanError(f"steps must be >= 1, got {steps}")
+    if kernel.ndim not in (2, 3):
+        raise PlanError(
+            f"tile-shape tuning applies to 2-D/3-D kernels, got {kernel.ndim}-D"
+        )
+    halo = tuple(steps * r for r in kernel.radius)
+    budget = spec.smem_per_sm_bytes // max(1, blocks_per_sm)
+    t = FRAGMENT_T
+    # Axis 0 accumulates (never transformed): only halo amplification
+    # matters, and slices stream, so its tile can be long.
+    cand_accum = [t * i for i in (2, 4, 8, 16, 32)]
+    # Middle axes (3-D only) carry a direct dense DFT of their full window.
+    cand_middle = [t * i for i in range(1, 9)]
+    # The innermost axis gets a PFA window: Eq.-(5) lengths with a co-prime
+    # split, the transform costing 8*(N1+N2) per element instead of 8*L.
+    cand_last: list[tuple[int, int]] = []  # (valid, local) pairs
+    for a in range(1, 24):
+        length = a * t * (t - 1)
+        if length > 2 * halo[-1] and coprime_splits(length):
+            cand_last.append((length - 2 * halo[-1], length))
+
+    best: tuple[float, tuple[int, ...]] | None = None
+    band = 2 * halo[0] + 1
+    axis_lists: list[list] = (
+        [cand_accum, cand_last] if kernel.ndim == 2 else [cand_accum, cand_middle, cand_last]
+    )
+    for combo in _product(axis_lists):
+        s_last, l_last = combo[-1]
+        valid = tuple(combo[:-1]) + (s_last,)
+        local = tuple(s + 2 * h for s, h in zip(valid, halo))
+        n1, n2 = best_coprime_split(l_last)
+        middle_locals = local[1:-1]
+        # Resident working set: a band of transformed slices plus the DFT
+        # matrices for the transform axes.
+        slice_elems = int(np.prod(middle_locals, dtype=np.int64)) * l_last
+        matrices = (sum(l * l for l in middle_locals) + n1 * n1 + n2 * n2) * 16
+        smem = 2 * slice_elems * 16 + matrices
+        if smem > budget:
+            continue
+        # Per-point per-application cost (double-layer already folded into
+        # the 8-flop complex-op coefficients).
+        transform_flops = 8.0 * (sum(middle_locals) + n1 + n2)
+        flops_pt = (transform_flops + 4.0 * band) * float(
+            np.prod([l / s for l, s in zip(local, valid)])
+        )
+        amp = float(np.prod([l / s for l, s in zip(local, valid)]))
+        bytes_pt = 8.0 * amp + 8.0
+        time_pt = max(
+            flops_pt / spec.peak_tc_flops, bytes_pt / spec.bandwidth_bytes
+        )
+        key = (time_pt, valid)
+        if best is None or key < best:
+            best = key
+    if best is None:
+        raise PlanError(
+            f"no multi-dimensional tile fits SMEM: halo={halo}, "
+            f"budget={budget} B"
+        )
+    return best[1]
+
+
+def _product(axis_candidates: list[list[int]]):
+    """Cartesian product of per-axis candidate lists."""
+    if len(axis_candidates) == 1:
+        for v in axis_candidates[0]:
+            yield (v,)
+        return
+    for head in axis_candidates[0]:
+        for rest in _product(axis_candidates[1:]):
+            yield (head,) + rest

@@ -1,0 +1,88 @@
+"""Dense DFT matrices and the fragment-swizzle row permutations.
+
+On the TCU, FlashFFTStencil performs Fourier transforms as *dense matrix
+multiplications* with precomputed DFT matrices (Algorithm 1 of the paper):
+
+    X = F_{N1} . x . F_{N2}^T          (forward, no twiddles thanks to PFA)
+    y = iF_{N1} . X . iF_{N2}^T        (inverse)
+
+Two paper details live here:
+
+* **iFFT-from-FFT recomputation** (Squeezing Registers, §3.3): the inverse
+  matrix is ``conj(F)/N`` — identical real part, negated imaginary part —
+  so it is *recomputed* from the forward matrix instead of stored.
+* **Swizzling Fragments** (§3.3): the MMA result fragment C holds the rows
+  of the product in a hardware-defined permuted order.  Rather than
+  un-permuting through shared memory, the *next* DFT matrix is built with
+  its columns pre-permuted so the product comes out right:
+  with ``P`` a permutation matrix, ``(P A)`` fed as the right operand of
+  ``F (P A) == (F P) A`` means storing ``F P`` (column-permuted ``F``)
+  restores correctness with zero data movement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import PFAError
+
+__all__ = [
+    "dft_matrix",
+    "idft_matrix",
+    "idft_from_dft",
+    "permuted_dft",
+    "apply_row_permutation",
+]
+
+
+def dft_matrix(n: int, dtype=np.complex128) -> np.ndarray:
+    """The dense forward DFT matrix ``F[j, k] = exp(-2*pi*i*j*k/n)``."""
+    if n < 1:
+        raise PFAError(f"DFT size must be >= 1, got {n}")
+    jk = np.outer(np.arange(n), np.arange(n))
+    return np.exp(-2j * np.pi * jk / n).astype(dtype)
+
+
+def idft_matrix(n: int, dtype=np.complex128) -> np.ndarray:
+    """The dense inverse DFT matrix ``conj(F)/n``."""
+    return np.conj(dft_matrix(n, dtype)) / n
+
+
+def idft_from_dft(f: np.ndarray) -> np.ndarray:
+    """Recompute the inverse matrix from the forward one (register squeezing).
+
+    The real parts are identical and the imaginary parts are negated, so no
+    second matrix ever needs to be stored: ``iF = conj(F) / N``.
+    """
+    n = f.shape[0]
+    if f.shape != (n, n):
+        raise PFAError(f"DFT matrix must be square, got {f.shape}")
+    return np.conj(f) / n
+
+
+def apply_row_permutation(perm: np.ndarray, a: np.ndarray) -> np.ndarray:
+    """Return ``P @ a`` where ``P`` places old row ``perm[i]`` at new row ``i``."""
+    perm = np.asarray(perm)
+    _check_perm(perm, a.shape[0])
+    return a[perm]
+
+
+def permuted_dft(n: int, row_perm: np.ndarray) -> np.ndarray:
+    """Forward DFT matrix with *columns* pre-permuted to absorb a fragment swizzle.
+
+    If the previous MMA leaves the logical rows of its result in order
+    ``row_perm`` (i.e. fragment row ``i`` holds logical row ``row_perm[i]``),
+    then multiplying by ``permuted_dft(n, row_perm)`` on the left —
+    ``F[:, row_perm] @ A_swizzled`` — equals ``F @ A_logical``:
+    column ``i`` of the matrix must meet logical row ``row_perm[i]`` of the
+    operand.  The permutation is baked in at matrix-generation time, exactly
+    as §3.3 describes, so it costs nothing at run time.
+    """
+    perm = np.asarray(row_perm)
+    _check_perm(perm, n)
+    return dft_matrix(n)[:, perm]
+
+
+def _check_perm(perm: np.ndarray, n: int) -> None:
+    if perm.shape != (n,) or not np.array_equal(np.sort(perm), np.arange(n)):
+        raise PFAError(f"not a permutation of range({n}): {perm!r}")

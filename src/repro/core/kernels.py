@@ -1,0 +1,375 @@
+"""Stencil kernel definitions and the Table-3 benchmark kernel zoo.
+
+A stencil kernel is a finite set of integer offsets with real weights.  One
+application updates every grid point ``n`` of a d-dimensional array ``x`` as
+
+    y[n] = sum_o  w[o] * x[n + o]
+
+(offsets address *neighbours read*, so this is a cross-correlation; as a
+circular convolution the equivalent convolution kernel is the offset-reversed
+weight set).  The paper's entire pipeline rests on the frequency-domain view:
+the circular spectrum of the kernel on an N-point (per-axis) grid is
+
+    H[k] = sum_o w[o] * exp(+2*pi*i * <k, o> / N)
+
+and applying the stencil ``T`` times corresponds to multiplying by ``H**T``
+(Equation (10) of the paper — unrestricted temporal fusion).
+
+The kernels named in Table 3 of the paper are provided as constructors:
+``heat_1d``, ``star_1d5p``, ``star_1d7p``, ``heat_2d``, ``box_2d9p``,
+``heat_3d``, ``box_3d27p``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import KernelError
+
+__all__ = [
+    "StencilKernel",
+    "heat_1d",
+    "star_1d5p",
+    "star_1d7p",
+    "heat_2d",
+    "box_2d9p",
+    "heat_3d",
+    "box_3d27p",
+    "kernel_by_name",
+    "KERNEL_ZOO",
+]
+
+
+def _normalize_offsets(
+    offsets: Iterable[Sequence[int] | int],
+) -> tuple[tuple[int, ...], ...]:
+    """Coerce user offsets into a canonical tuple-of-int-tuples."""
+    canon: list[tuple[int, ...]] = []
+    for off in offsets:
+        if isinstance(off, (int, np.integer)):
+            canon.append((int(off),))
+        else:
+            canon.append(tuple(int(o) for o in off))
+    return tuple(canon)
+
+
+@dataclass(frozen=True)
+class StencilKernel:
+    """An immutable stencil: integer offsets and their FP64 weights.
+
+    Parameters
+    ----------
+    offsets:
+        Sequence of integer offset vectors, one per tap.  1-D offsets may be
+        given as plain ints.  Duplicate offsets are rejected.
+    weights:
+        One real weight per tap.
+    name:
+        Human-readable identifier used in benchmark reports.
+    """
+
+    offsets: tuple[tuple[int, ...], ...]
+    weights: tuple[float, ...]
+    name: str = "custom"
+
+    def __init__(
+        self,
+        offsets: Iterable[Sequence[int] | int],
+        weights: Iterable[float],
+        name: str = "custom",
+    ) -> None:
+        canon = _normalize_offsets(offsets)
+        w = tuple(float(x) for x in weights)
+        if not canon:
+            raise KernelError("a stencil kernel needs at least one tap")
+        if len(canon) != len(w):
+            raise KernelError(
+                f"got {len(canon)} offsets but {len(w)} weights"
+            )
+        ndims = {len(o) for o in canon}
+        if len(ndims) != 1:
+            raise KernelError(f"offsets mix dimensionalities: {sorted(ndims)}")
+        if len(set(canon)) != len(canon):
+            raise KernelError("duplicate offsets in stencil kernel")
+        if not all(np.isfinite(w)):
+            raise KernelError("stencil weights must be finite")
+        object.__setattr__(self, "offsets", canon)
+        object.__setattr__(self, "weights", w)
+        object.__setattr__(self, "name", str(name))
+
+    # ------------------------------------------------------------------ shape
+
+    @property
+    def ndim(self) -> int:
+        """Spatial dimensionality of the stencil."""
+        return len(self.offsets[0])
+
+    @property
+    def points(self) -> int:
+        """Number of taps (the 'kernel points' column of Table 3)."""
+        return len(self.offsets)
+
+    @cached_property
+    def radius(self) -> tuple[int, ...]:
+        """Per-axis reach ``r``: every offset lies in ``[-r, r]``."""
+        arr = np.array(self.offsets, dtype=np.int64)
+        return tuple(int(m) for m in np.abs(arr).max(axis=0))
+
+    @property
+    def max_radius(self) -> int:
+        """Largest per-axis radius, the halo width one step needs."""
+        return max(self.radius)
+
+    @cached_property
+    def footprint_lengths(self) -> tuple[int, ...]:
+        """Per-axis support length ``M = 2r + 1`` of the dense kernel box."""
+        return tuple(2 * r + 1 for r in self.radius)
+
+    def flops_per_point(self) -> int:
+        """FMAs counted as 2 flops: the direct per-point arithmetic cost."""
+        return 2 * self.points
+
+    # -------------------------------------------------------------- materials
+
+    def dense(self) -> np.ndarray:
+        """Dense weight box of shape ``footprint_lengths`` centred at radius.
+
+        ``dense()[r + o] == w[o]`` for every tap; untouched entries are 0.
+        """
+        box = np.zeros(self.footprint_lengths, dtype=np.float64)
+        r = self.radius
+        for off, w in zip(self.offsets, self.weights):
+            idx = tuple(ri + oi for ri, oi in zip(r, off))
+            box[idx] = w
+        return box
+
+    def weight_map(self) -> Mapping[tuple[int, ...], float]:
+        """Offsets -> weight dictionary view."""
+        return dict(zip(self.offsets, self.weights))
+
+    def spectrum(self, shape: int | Sequence[int]) -> np.ndarray:
+        """Circular frequency response ``H`` on a periodic grid of ``shape``.
+
+        ``apply == ifftn(fftn(x) * H).real`` for periodic boundaries.  The
+        grid must be large enough to hold the kernel footprint per axis.
+        """
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        shape = tuple(int(s) for s in shape)
+        if len(shape) != self.ndim:
+            raise KernelError(
+                f"spectrum shape has {len(shape)} axes, kernel is {self.ndim}-D"
+            )
+        for s, m in zip(shape, self.footprint_lengths):
+            if s < m:
+                raise KernelError(
+                    f"grid extent {s} smaller than kernel footprint {m}"
+                )
+        impulse = np.zeros(shape, dtype=np.float64)
+        for off, w in zip(self.offsets, self.weights):
+            # Stencil reads x[n + o]; as a circular convolution that puts
+            # weight w at index (-o) mod N, whose DFT is exp(+i 2 pi k.o/N).
+            idx = tuple((-oi) % s for oi, s in zip(off, shape))
+            impulse[idx] += w
+        return np.fft.fftn(impulse)
+
+    def temporal_spectrum(self, shape: int | Sequence[int], steps: int) -> np.ndarray:
+        """``H**steps`` — Equation (10): fusing ``steps`` time iterations."""
+        if steps < 1:
+            raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
+        return self.spectrum(shape) ** steps
+
+    def fused(self, steps: int) -> "StencilKernel":
+        """The dense kernel equivalent to ``steps`` repeated applications.
+
+        Computed by repeated full convolution of the weight boxes; the result
+        has per-axis radius ``steps * r``.  Useful for validating temporal
+        fusion against a single wide stencil application.
+        """
+        if steps < 1:
+            raise KernelError(f"steps must be >= 1, got {steps}")
+        box = self.dense()
+        acc = box
+        for _ in range(steps - 1):
+            acc = _full_convolve(acc, box)
+        radius = tuple(steps * r for r in self.radius)
+        offsets: list[tuple[int, ...]] = []
+        weights: list[float] = []
+        for idx in np.ndindex(acc.shape):
+            w = acc[idx]
+            if w != 0.0:
+                offsets.append(tuple(i - r for i, r in zip(idx, radius)))
+                weights.append(float(w))
+        return StencilKernel(offsets, weights, name=f"{self.name}^_{steps}")
+
+    # ------------------------------------------------------------------ misc
+
+    @classmethod
+    def from_dense(
+        cls,
+        box: np.ndarray,
+        center: Sequence[int] | None = None,
+        name: str = "custom",
+        tol: float = 0.0,
+    ) -> "StencilKernel":
+        """Build a kernel from a dense weight box.
+
+        ``center`` defaults to the box midpoint (all extents must then be
+        odd).  Entries with ``|w| <= tol`` are dropped.  Inverse of
+        :meth:`dense` for symmetric-extent kernels.
+        """
+        box = np.asarray(box, dtype=np.float64)
+        if center is None:
+            if any(s % 2 == 0 for s in box.shape):
+                raise KernelError(
+                    f"box shape {box.shape} has even extents; pass center explicitly"
+                )
+            center = tuple(s // 2 for s in box.shape)
+        center = tuple(int(c) for c in center)
+        if len(center) != box.ndim or any(
+            not 0 <= c < s for c, s in zip(center, box.shape)
+        ):
+            raise KernelError(f"center {center} outside box of shape {box.shape}")
+        offsets = []
+        weights = []
+        for idx in np.ndindex(box.shape):
+            w = float(box[idx])
+            if abs(w) > tol:
+                offsets.append(tuple(i - c for i, c in zip(idx, center)))
+                weights.append(w)
+        if not offsets:
+            raise KernelError("dense box has no entries above tolerance")
+        return cls(offsets, weights, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"StencilKernel(name={self.name!r}, ndim={self.ndim}, "
+            f"points={self.points}, radius={self.radius})"
+        )
+
+
+def _full_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Full linear convolution of two small dense boxes (any ndim)."""
+    out_shape = tuple(sa + sb - 1 for sa, sb in zip(a.shape, b.shape))
+    axes = tuple(range(a.ndim))
+    fa = np.fft.rfftn(a, out_shape, axes=axes)
+    fb = np.fft.rfftn(b, out_shape, axes=axes)
+    out = np.fft.irfftn(fa * fb, out_shape, axes=axes)
+    # FFT round-trip leaves ~1e-16 noise; snap true zeros back for exactness.
+    out[np.abs(out) < 1e-12 * np.abs(out).max()] = 0.0
+    return out
+
+
+# --------------------------------------------------------------------------
+# Table 3 kernel zoo
+# --------------------------------------------------------------------------
+
+
+def heat_1d(alpha: float = 0.25) -> StencilKernel:
+    """3-point 1-D heat equation: ``u + alpha * (u[-1] - 2u + u[+1])``."""
+    return StencilKernel(
+        offsets=[-1, 0, 1],
+        weights=[alpha, 1.0 - 2.0 * alpha, alpha],
+        name="heat-1d",
+    )
+
+
+def star_1d5p(c: Sequence[float] | None = None) -> StencilKernel:
+    """5-point 1-D star stencil (fourth-order central difference flavour)."""
+    if c is None:
+        # Fourth-order Laplacian coefficients folded into an update u + d2u/8.
+        c = (-1.0 / 96, 16.0 / 96, 1.0 - 30.0 / 96, 16.0 / 96, -1.0 / 96)
+    if len(c) != 5:
+        raise KernelError(f"star_1d5p needs 5 coefficients, got {len(c)}")
+    return StencilKernel(offsets=[-2, -1, 0, 1, 2], weights=c, name="1d5p")
+
+
+def star_1d7p(c: Sequence[float] | None = None) -> StencilKernel:
+    """7-point 1-D star stencil (sixth-order central difference flavour)."""
+    if c is None:
+        base = np.array([2.0, -27.0, 270.0, -490.0, 270.0, -27.0, 2.0]) / 180.0
+        c = (base / 8.0 + np.eye(1, 7, 3).ravel()).tolist()
+    if len(c) != 7:
+        raise KernelError(f"star_1d7p needs 7 coefficients, got {len(c)}")
+    return StencilKernel(offsets=[-3, -2, -1, 0, 1, 2, 3], weights=c, name="1d7p")
+
+
+def heat_2d(alpha: float = 0.125) -> StencilKernel:
+    """5-point 2-D heat stencil: centre plus the four von-Neumann neighbours."""
+    return StencilKernel(
+        offsets=[(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)],
+        weights=[1.0 - 4.0 * alpha, alpha, alpha, alpha, alpha],
+        name="heat-2d",
+    )
+
+
+def box_2d9p(edge: float = 0.05, corner: float = 0.025) -> StencilKernel:
+    """9-point 2-D box (Moore neighbourhood) stencil."""
+    offsets = [(i, j) for i in (-1, 0, 1) for j in (-1, 0, 1)]
+    weights = []
+    for i, j in offsets:
+        if i == 0 and j == 0:
+            weights.append(1.0 - 4.0 * edge - 4.0 * corner)
+        elif i == 0 or j == 0:
+            weights.append(edge)
+        else:
+            weights.append(corner)
+    return StencilKernel(offsets, weights, name="box-2d9p")
+
+
+def heat_3d(alpha: float = 0.0625) -> StencilKernel:
+    """7-point 3-D heat stencil: centre plus six face neighbours."""
+    offsets = [(0, 0, 0)]
+    weights = [1.0 - 6.0 * alpha]
+    for axis in range(3):
+        for sign in (-1, 1):
+            off = [0, 0, 0]
+            off[axis] = sign
+            offsets.append(tuple(off))
+            weights.append(alpha)
+    return StencilKernel(offsets, weights, name="heat-3d")
+
+
+def box_3d27p(face: float = 0.02, edge: float = 0.01, corner: float = 0.005) -> StencilKernel:
+    """27-point 3-D box stencil over the full Moore neighbourhood."""
+    offsets = [
+        (i, j, k) for i in (-1, 0, 1) for j in (-1, 0, 1) for k in (-1, 0, 1)
+    ]
+    weights = []
+    for off in offsets:
+        nz = sum(1 for o in off if o != 0)
+        if nz == 0:
+            weights.append(1.0 - 6.0 * face - 12.0 * edge - 8.0 * corner)
+        elif nz == 1:
+            weights.append(face)
+        elif nz == 2:
+            weights.append(edge)
+        else:
+            weights.append(corner)
+    return StencilKernel(offsets, weights, name="box-3d27p")
+
+
+#: All Table-3 kernels by canonical benchmark name.
+KERNEL_ZOO: Mapping[str, StencilKernel] = {
+    "heat-1d": heat_1d(),
+    "1d5p": star_1d5p(),
+    "1d7p": star_1d7p(),
+    "heat-2d": heat_2d(),
+    "box-2d9p": box_2d9p(),
+    "heat-3d": heat_3d(),
+    "box-3d27p": box_3d27p(),
+}
+
+
+def kernel_by_name(name: str) -> StencilKernel:
+    """Look up a Table-3 kernel by its benchmark name (case-insensitive)."""
+    key = name.strip().lower()
+    if key not in KERNEL_ZOO:
+        raise KernelError(
+            f"unknown kernel {name!r}; available: {sorted(KERNEL_ZOO)}"
+        )
+    return KERNEL_ZOO[key]

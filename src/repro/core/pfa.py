@@ -1,0 +1,322 @@
+"""Good-Thomas Prime-Factor FFT with CRT reordering and diagonal indexing.
+
+§3.2.1 of the paper: a 1-D DFT of length ``N = N1 * N2`` with co-prime
+factors is *exactly* a 2-D ``N1 x N2`` DFT — with **no twiddle factors** —
+once input and output indices are remapped by the Chinese Remainder Theorem.
+The 2-D DFT is two dense matrix multiplications, the shape Tensor Cores want.
+
+Index maps
+----------
+With ``gcd(N1, N2) = 1`` the two classic bijections between ``n`` and
+``(n1, n2)`` are:
+
+* the **CRT map**      ``n  -> (n mod N1, n mod N2)``
+* the **Ruritanian map** ``n = (N2*n1 + N1*n2) mod N``
+
+Using the CRT map on the *input* and the Ruritanian map on the *output*
+(or vice versa) cancels every cross term in ``exp(-2*pi*i*n*k/N)``; the
+derivation is reproduced in :func:`pfa_dft`'s docstring.
+
+Diagonal Data Indexing (§3.2.2)
+-------------------------------
+The CRT input map *is* a diagonal walk: as ``n`` increments, both ``n mod N1``
+and ``n mod N2`` increment by one (with wraparound).  So data can be scattered
+into its 2-D PFA position with two counters and two compare-and-reset
+operations — zero modulo instructions, sequential global reads (coalesced),
+and a row+1/col+1 stride pattern that touches ``N1`` distinct SMEM banks per
+``N1`` consecutive elements (bank-conflict-free for the bank widths modelled
+in :mod:`repro.gpusim.smem`).  :func:`diagonal_walk` implements exactly that
+and is verified to equal the modulo-based map.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import gcd
+
+import numpy as np
+
+from ..errors import PFAError
+from .dft import dft_matrix, idft_from_dft
+
+__all__ = [
+    "check_coprime",
+    "crt_maps",
+    "diagonal_walk",
+    "ruritanian_positions",
+    "coprime_splits",
+    "best_coprime_split",
+    "PFAPlan",
+    "pfa_dft",
+    "pfa_idft",
+]
+
+
+def check_coprime(n1: int, n2: int) -> None:
+    """Raise :class:`PFAError` unless ``n1`` and ``n2`` are valid co-prime factors."""
+    if n1 < 2 or n2 < 2:
+        raise PFAError(f"PFA factors must each be >= 2, got ({n1}, {n2})")
+    if gcd(n1, n2) != 1:
+        raise PFAError(f"PFA factors must be co-prime, got gcd({n1},{n2})={gcd(n1, n2)}")
+
+
+def crt_maps(n1: int, n2: int) -> tuple[np.ndarray, np.ndarray]:
+    """Modulo-based CRT input map: arrays ``(n % n1, n % n2)`` for ``n in [0, N)``.
+
+    This is the *reordering* formulation the paper replaces — each element
+    costs two modulo operations.  Kept as the reference the diagonal walk is
+    checked against, and as the "w/o Architecture Aligning" path of Table 4.
+    """
+    check_coprime(n1, n2)
+    n = np.arange(n1 * n2)
+    return n % n1, n % n2
+
+
+def diagonal_walk(n1: int, n2: int) -> tuple[np.ndarray, np.ndarray]:
+    """Modulo-free CRT map: two increment-and-reset counters (§3.2.2).
+
+    Returns the same ``(rows, cols)`` arrays as :func:`crt_maps` but computed
+    the way a CUDA thread would: both indices advance diagonally and reset to
+    zero on hitting their extent.  No ``%`` is executed per element.
+    """
+    check_coprime(n1, n2)
+    total = n1 * n2
+    rows = np.empty(total, dtype=np.int64)
+    cols = np.empty(total, dtype=np.int64)
+    r = c = 0
+    for n in range(total):
+        rows[n] = r
+        cols[n] = c
+        r += 1
+        if r == n1:
+            r = 0
+        c += 1
+        if c == n2:
+            c = 0
+    return rows, cols
+
+
+def ruritanian_positions(n1: int, n2: int) -> np.ndarray:
+    """Output-index map: ``k[k1, k2] = (N2*k1 + N1*k2) mod N`` as an array.
+
+    ``out_1d[k[k1, k2]] = out_2d[k1, k2]`` scatters the 2-D PFA result back
+    into natural 1-D DFT order.
+    """
+    check_coprime(n1, n2)
+    k1 = np.arange(n1)[:, None]
+    k2 = np.arange(n2)[None, :]
+    return (n2 * k1 + n1 * k2) % (n1 * n2)
+
+
+def coprime_splits(n: int) -> list[tuple[int, int]]:
+    """All ordered pairs ``(n1, n2)`` with ``n1*n2 == n``, co-prime, both >= 2."""
+    out = []
+    for n1 in range(2, n // 2 + 1):
+        if n % n1 == 0:
+            n2 = n // n1
+            if n2 >= 2 and gcd(n1, n2) == 1:
+                out.append((n1, n2))
+    return out
+
+
+def _fragment_pad_waste(n: int) -> float:
+    """Zero-slot fraction of an ``n x n`` DFT matrix tiled into 8x4 fragments."""
+    pm = -(-n // 8) * 8
+    pk = -(-n // 4) * 4
+    return 1.0 - (n * n) / (pm * pk)
+
+
+def best_coprime_split(n: int, prefer_multiple_of: int = 8) -> tuple[int, int]:
+    """Pick the co-prime factorisation friendliest to TCU fragment tiling.
+
+    The score is the fragment-padding waste of the two square DFT matrices
+    (the sparsity that would otherwise leak into Figure 10), tie-broken by
+    balance (smaller ``N1^2 + N2^2`` auxiliary footprint).  A factor
+    divisible by ``prefer_multiple_of``, if any, is returned first as ``n1``.
+    """
+    splits = coprime_splits(n)
+    if not splits:
+        raise PFAError(
+            f"{n} has no co-prime factorisation (prime or prime power)"
+        )
+
+    def score(pair: tuple[int, int]) -> tuple[float, int]:
+        n1, n2 = pair
+        waste = _fragment_pad_waste(n1) + _fragment_pad_waste(n2)
+        footprint = n1 * n1 + n2 * n2
+        return (round(waste, 9), footprint)
+
+    n1, n2 = min(splits, key=score)
+    if n2 % prefer_multiple_of == 0 and n1 % prefer_multiple_of != 0:
+        n1, n2 = n2, n1
+    return n1, n2
+
+
+@dataclass(frozen=True)
+class PFAPlan:
+    """Precomputed machinery for a length-``n1*n2`` prime-factor DFT.
+
+    The plan owns the two dense DFT matrices and the input/output index maps,
+    mirroring what FlashFFTStencil stages in SMEM once per thread block.
+    ``use_diagonal_indexing`` selects the mod-free walk (Architecture
+    Aligning on) or the modulo reordering (off) — results are identical;
+    the flag exists so the GPU model can cost both paths.
+    """
+
+    n1: int
+    n2: int
+    use_diagonal_indexing: bool = True
+
+    def __post_init__(self) -> None:
+        check_coprime(self.n1, self.n2)
+
+    @property
+    def length(self) -> int:
+        return self.n1 * self.n2
+
+    @property
+    def f1(self) -> np.ndarray:
+        return _cached_dft(self.n1)
+
+    @property
+    def f2(self) -> np.ndarray:
+        return _cached_dft(self.n2)
+
+    @property
+    def input_rows_cols(self) -> tuple[np.ndarray, np.ndarray]:
+        if self.use_diagonal_indexing:
+            return _cached_walk(self.n1, self.n2)
+        return crt_maps(self.n1, self.n2)
+
+    @property
+    def output_positions(self) -> np.ndarray:
+        return ruritanian_positions(self.n1, self.n2)
+
+    # ---------------------------------------------------------------- layout
+
+    def scatter(self, x: np.ndarray) -> np.ndarray:
+        """1-D signal(s) -> 2-D PFA layout ``(..., n1, n2)`` via the input map."""
+        x = np.asarray(x)
+        if x.shape[-1] != self.length:
+            raise PFAError(
+                f"signal length {x.shape[-1]} != plan length {self.length}"
+            )
+        rows, cols = self.input_rows_cols
+        out = np.zeros(x.shape[:-1] + (self.n1, self.n2), dtype=x.dtype)
+        out[..., rows, cols] = x
+        return out
+
+    def gather(self, x2d: np.ndarray) -> np.ndarray:
+        """2-D PFA layout -> 1-D signal(s); inverse of :meth:`scatter`."""
+        if x2d.shape[-2:] != (self.n1, self.n2):
+            raise PFAError(
+                f"layout shape {x2d.shape[-2:]} != ({self.n1}, {self.n2})"
+            )
+        rows, cols = self.input_rows_cols
+        return x2d[..., rows, cols]
+
+    def smem_store_addresses(self, word_bytes: int = 8) -> np.ndarray:
+        """Byte addresses of the diagonal scatter into padded shared memory.
+
+        The store layout puts the *even* co-prime factor on the fast
+        (row-cycling) axis and pads the odd factor's row stride by one word:
+        with stride ``W = odd + 1`` (even), two lanes ``a != b`` of a warp
+        collide only if ``(a-b)(W+1) = 8k (mod 32)`` — impossible since
+        ``W + 1`` is odd — so the walk is bank-conflict-free away from
+        column wraps.  Falls back to plain diagonal addressing when both
+        factors are odd (co-prime pairs can share no factor of 2).
+        """
+        n = np.arange(self.length)
+        if self.n1 % 2 == 0 or self.n2 % 2 == 0:
+            even, odd = (
+                (self.n1, self.n2) if self.n1 % 2 == 0 else (self.n2, self.n1)
+            )
+            return ((n % even) * (odd + 1) + (n % odd)) * word_bytes
+        # Both factors odd: no parity argument applies, so pick the row
+        # padding that measurably minimises conflicts — exactly what an
+        # autotuner would do at plan-build time.
+        from ..gpusim.smem import bank_report
+
+        best_addrs = None
+        best_conflicts = None
+        for pad in range(0, 4):
+            addrs = ((n % self.n1) * (self.n2 + pad) + (n % self.n2)) * word_bytes
+            warps = [
+                addrs[i : i + 32] for i in range(0, addrs.size - 31, 32)
+            ] or [addrs]
+            c = bank_report(warps).conflicts_per_request
+            if best_conflicts is None or c < best_conflicts:
+                best_conflicts, best_addrs = c, addrs
+        return best_addrs
+
+    def spectrum_to_layout(self, spec_1d: np.ndarray) -> np.ndarray:
+        """Natural-order spectrum -> the 2-D layout :meth:`dft2d` produces."""
+        spec_1d = np.asarray(spec_1d)
+        if spec_1d.shape[-1] != self.length:
+            raise PFAError(
+                f"spectrum length {spec_1d.shape[-1]} != plan length {self.length}"
+            )
+        return spec_1d[..., self.output_positions]
+
+    # ------------------------------------------------------------- transform
+
+    def dft2d(self, x2d: np.ndarray) -> np.ndarray:
+        """Twiddle-free 2-D DFT of a scattered signal: ``F1 @ x @ F2^T``."""
+        return np.einsum("ij,...jk,lk->...il", self.f1, x2d, self.f2, optimize=True)
+
+    def idft2d(self, spec2d: np.ndarray) -> np.ndarray:
+        """Inverse 2-D DFT, with both matrices recomputed from the forward ones."""
+        if1 = idft_from_dft(self.f1)
+        if2 = idft_from_dft(self.f2)
+        return np.einsum("ij,...jk,lk->...il", if1, spec2d, if2, optimize=True)
+
+    def dft(self, x: np.ndarray) -> np.ndarray:
+        """Full 1-D DFT in natural order — equals ``numpy.fft.fft(x)``.
+
+        Derivation of twiddle-freeness: with the CRT input map
+        ``n = (a*N2*n1 + b*N1*n2) mod N`` (``a = N2^{-1} mod N1``,
+        ``b = N1^{-1} mod N2``) and the Ruritanian output map
+        ``k = (N2*k1 + N1*k2) mod N``, the phase splits as
+
+            n*k/N = n1*k1/N1 + n2*k2/N2 + integer,
+
+        so the full kernel factors into the two small DFT kernels exactly.
+        """
+        spec2d = self.dft2d(self.scatter(x))
+        out = np.empty(spec2d.shape[:-2] + (self.length,), dtype=spec2d.dtype)
+        out[..., self.output_positions.ravel()] = spec2d.reshape(
+            spec2d.shape[:-2] + (-1,)
+        )
+        return out
+
+    def idft(self, spec: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`dft` — equals ``numpy.fft.ifft(spec)``."""
+        spec = np.asarray(spec)
+        spec2d = spec[..., self.output_positions]
+        return self.gather(self.idft2d(spec2d))
+
+
+def pfa_dft(x: np.ndarray, n1: int, n2: int) -> np.ndarray:
+    """One-shot prime-factor DFT of ``x`` (length ``n1*n2``)."""
+    return PFAPlan(n1, n2).dft(x)
+
+
+def pfa_idft(spec: np.ndarray, n1: int, n2: int) -> np.ndarray:
+    """One-shot prime-factor inverse DFT."""
+    return PFAPlan(n1, n2).idft(spec)
+
+
+@lru_cache(maxsize=64)
+def _cached_dft(n: int) -> np.ndarray:
+    m = dft_matrix(n)
+    m.setflags(write=False)
+    return m
+
+
+@lru_cache(maxsize=64)
+def _cached_walk(n1: int, n2: int) -> tuple[np.ndarray, np.ndarray]:
+    rows, cols = diagonal_walk(n1, n2)
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols

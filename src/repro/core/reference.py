@@ -1,0 +1,94 @@
+"""Direct (time-domain) stencil engine — the ground truth for every test.
+
+This is the textbook formulation every other engine in the library must
+reproduce: one pass reads each neighbour through ``np.roll`` (periodic) or a
+zero-padded window (zero / Dirichlet-0 boundaries) and accumulates weighted
+sums, vectorised over the whole grid.
+
+Boundary conventions
+--------------------
+``periodic``
+    The grid wraps: ``x[n + o]`` indexes modulo the grid shape.  This is the
+    boundary under which the circular-convolution theorem — and hence the
+    whole FFT bridge of the paper — is *exact*.
+``zero``
+    Reads outside the grid return 0 (aperiodic linear stencil, as in Ahmad
+    et al.'s FFT stencil line of work cited by the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from ..errors import BoundaryError, KernelError
+from .kernels import StencilKernel
+
+__all__ = ["apply_stencil", "run_stencil", "Boundary"]
+
+Boundary = Literal["periodic", "zero"]
+
+_VALID_BOUNDARIES = ("periodic", "zero")
+
+
+def _check(grid: np.ndarray, kernel: StencilKernel, boundary: str) -> np.ndarray:
+    if boundary not in _VALID_BOUNDARIES:
+        raise BoundaryError(
+            f"boundary must be one of {_VALID_BOUNDARIES}, got {boundary!r}"
+        )
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != kernel.ndim:
+        raise KernelError(
+            f"grid is {grid.ndim}-D but kernel {kernel.name!r} is {kernel.ndim}-D"
+        )
+    for s, m in zip(grid.shape, kernel.footprint_lengths):
+        if s < m:
+            raise KernelError(
+                f"grid extent {s} smaller than kernel footprint {m}"
+            )
+    return grid
+
+
+def apply_stencil(
+    grid: np.ndarray,
+    kernel: StencilKernel,
+    boundary: Boundary = "periodic",
+) -> np.ndarray:
+    """One stencil sweep: ``y[n] = sum_o w[o] * x[n + o]``.
+
+    Returns a new array; the input is not modified.
+    """
+    grid = _check(grid, kernel, boundary)
+    if boundary == "periodic":
+        out = np.zeros_like(grid)
+        for off, w in zip(kernel.offsets, kernel.weights):
+            # Reading x[n + o] for all n is a roll of the array by -o.
+            out += w * np.roll(grid, shift=tuple(-o for o in off), axis=tuple(range(grid.ndim)))
+        return out
+    # zero boundary: embed in a halo of zeros, then take shifted windows.
+    r = kernel.radius
+    padded = np.pad(grid, [(ri, ri) for ri in r])
+    out = np.zeros_like(grid)
+    for off, w in zip(kernel.offsets, kernel.weights):
+        slices = tuple(
+            slice(ri + oi, ri + oi + s)
+            for ri, oi, s in zip(r, off, grid.shape)
+        )
+        out += w * padded[slices]
+    return out
+
+
+def run_stencil(
+    grid: np.ndarray,
+    kernel: StencilKernel,
+    steps: int,
+    boundary: Boundary = "periodic",
+) -> np.ndarray:
+    """Apply the stencil ``steps`` times in sequence (no fusion, no FFT)."""
+    if steps < 0:
+        raise KernelError(f"steps must be >= 0, got {steps}")
+    out = np.asarray(grid, dtype=np.float64).copy()
+    for _ in range(steps):
+        out = apply_stencil(out, kernel, boundary=boundary)
+    return out

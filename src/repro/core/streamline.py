@@ -1,0 +1,328 @@
+"""Computation Streamlining on TCU (§3.3, Algorithm 1).
+
+This module executes the fused per-segment stencil —
+
+    x  <-  (F1 (x) x) (x) F2          (forward transform, line 1)
+    x  <-  x * k_f                    (element-wise multiply,  line 2)
+    y  <-  F1^{-1} (x) (x (x) F2^{-1})  (inverse transform, line 4)
+
+— entirely as matrix operations on the emulated Tensor Core
+(:mod:`repro.gpusim.tensorcore`), batching all segments of a thread-block
+wave along the MMA ``n`` dimension so fragments stay dense.
+
+Dimensionality handling (§3.2.1, "Multidimensional Data Handling"):
+
+* **1-D stencils** route through the Prime-Factor plan: the length-``L``
+  segment is scattered to an ``N1 x N2`` layout by Diagonal Data Indexing
+  and transformed twiddle-free by two dense DFT-matrix products — the
+  literal Algorithm 1.
+* **2-D / 3-D stencils** are processed *in 2-D slices* as Figure 4(a)
+  prescribes: window axis 0 is never transformed — along it the (temporally
+  fused) kernel acts as a short banded accumulation of per-offset slice
+  spectra, ``Y~[z] = sum_dz H^_dz * X~[z+dz]`` — while the remaining axes
+  are matrix-transformed on the TCU, with the innermost (contiguous) axis
+  PFA-decomposed whenever its window length has a co-prime factorisation.
+  Only a band of 2-D slices is ever resident in shared memory.
+
+The three §3.3 techniques are independent switches so ablations can measure
+each (Figure 7, Table 4):
+
+* ``swizzle`` — move inter-product results register-to-register
+  (:class:`repro.gpusim.fragments.WarpRegisterFile` semantics; the pipeline
+  trace replaces per-tile SMEM round trips with 1-cycle register moves).
+* ``squeeze_registers`` — recompute ``iF = conj(F)/N`` instead of loading
+  stored inverse matrices; halves the per-thread register budget, doubling
+  resident warps.
+* ``double_layer`` — pack two real segments per complex pass (§3.2.3),
+  halving passes; without it the imaginary fragment slots carry zeros,
+  which the sparsity counter duly observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+from ..gpusim.pipeline import PipelineTrace
+from ..gpusim.tensorcore import MMAStats, complex_tc_matmul, fragment_tile_counts
+from .dft import dft_matrix, idft_from_dft
+from .pfa import PFAPlan, best_coprime_split, coprime_splits
+
+__all__ = ["StreamlineConfig", "StreamlineResult", "TCUStencilExecutor"]
+
+#: Modelled per-thread register budgets.  The squeezed kernel keeps only the
+#: forward DFT fragments, the in-flight accumulator (reused for ``k_f``), and
+#: loop state; the unsqueezed kernel additionally holds the two inverse-DFT
+#: fragment sets and a separate ``k_f`` buffer — the doubling §3.3 reports.
+REGISTERS_SQUEEZED = 64
+REGISTERS_UNSQUEEZED = 128
+
+
+@dataclass(frozen=True)
+class StreamlineConfig:
+    """Technique switches for the TCU execution path."""
+
+    swizzle: bool = True
+    squeeze_registers: bool = True
+    double_layer: bool = True
+    complex_method: str = "4mult"
+
+    @property
+    def registers_per_thread(self) -> int:
+        return REGISTERS_SQUEEZED if self.squeeze_registers else REGISTERS_UNSQUEEZED
+
+
+@dataclass
+class StreamlineResult:
+    """Numeric output plus everything the GPU model observed."""
+
+    output: np.ndarray
+    mma_stats: MMAStats
+    pipeline: PipelineTrace
+    passes: int
+    config: StreamlineConfig
+    #: CUDA-core flops (element-wise multiplies / slice accumulation) that
+    #: do not run through the TCU but still count toward arithmetic work.
+    ewise_flops: int = 0
+
+    @property
+    def total_flops(self) -> int:
+        return self.mma_stats.flops + self.ewise_flops
+
+
+class TCUStencilExecutor:
+    """Runs Algorithm 1 for batches of equal-shape segments.
+
+    Parameters
+    ----------
+    local_shape:
+        Per-segment window shape (``(L,)`` for 1-D; the fused spectrum must
+        be defined on exactly this shape).
+    spectrum:
+        Fused kernel spectrum on ``local_shape`` in natural frequency order
+        (``kernel.temporal_spectrum(local_shape, steps)``).
+    config:
+        Technique switches.
+    pfa_split:
+        Co-prime ``(N1, N2)`` for the innermost-axis transform; auto-chosen
+        (or skipped, if the length is a prime power) when omitted.
+    """
+
+    def __init__(
+        self,
+        local_shape: tuple[int, ...],
+        spectrum: np.ndarray,
+        config: StreamlineConfig = StreamlineConfig(),
+        pfa_split: tuple[int, int] | None = None,
+    ) -> None:
+        local_shape = tuple(int(s) for s in local_shape)
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.shape != local_shape:
+            raise PlanError(
+                f"spectrum shape {spectrum.shape} != window shape {local_shape}"
+            )
+        if not 1 <= len(local_shape) <= 3:
+            raise PlanError(
+                f"supported stencil dimensionalities are 1-3, got {len(local_shape)}"
+            )
+        self.local_shape = local_shape
+        self.config = config
+        ndim = len(local_shape)
+
+        # ---- innermost-axis PFA plan (Diagonal Data Indexing), if possible.
+        last = local_shape[-1]
+        if pfa_split is None and coprime_splits(last):
+            pfa_split = best_coprime_split(last)
+        if pfa_split is not None:
+            self.pfa: PFAPlan | None = PFAPlan(*pfa_split)
+            if self.pfa.length != last:
+                raise PlanError(
+                    f"PFA split {pfa_split} does not factor window length {last}"
+                )
+            last_dims: tuple[int, ...] = pfa_split
+        else:
+            if ndim == 1:
+                raise PlanError(
+                    f"1-D window length {last} has no co-prime factorisation; "
+                    "pick a tile giving a PFA-friendly window"
+                )
+            self.pfa = None
+            last_dims = (last,)
+
+        # ---- per-mode transform structure.
+        if ndim == 1:
+            self.accumulate = False
+            transform_dims = last_dims
+            self.spec_layout: np.ndarray | None = self.pfa.spectrum_to_layout(spectrum)
+            self.accum_offsets: list[int] = []
+            self.accum_spectra: np.ndarray | None = None
+        else:
+            # 2-D slice processing: banded accumulation along window axis 0,
+            # transforms on every other axis.  Per-offset slice spectra are
+            # recovered from the full spectrum by a transform along axis 0.
+            self.accumulate = True
+            middle = local_shape[1:-1]
+            transform_dims = middle + last_dims
+            l0 = local_shape[0]
+            rows = np.fft.fft(spectrum, axis=0) / l0
+            norms = np.max(np.abs(rows), axis=tuple(range(1, ndim)))
+            tol = 1e-12 * max(float(norms.max()), 1e-300)
+            half = l0 // 2
+            offsets = [dz for dz in range(-half, l0 - half) if norms[dz % l0] > tol]
+            spectra = np.stack([rows[dz % l0] for dz in offsets])
+            if self.pfa is not None:
+                spectra = self.pfa.spectrum_to_layout(spectra.reshape(
+                    (len(offsets),) + middle + (last,)
+                ))
+            self.accum_offsets = offsets
+            self.accum_spectra = spectra
+            self.spec_layout = None
+
+        self.transform_dims = transform_dims
+        self.f_mats = [dft_matrix(n) for n in transform_dims]
+        self.if_mats = [idft_from_dft(f) for f in self.f_mats]
+
+    # ----------------------------------------------------------------- run
+
+    def run(self, segments: np.ndarray) -> StreamlineResult:
+        """Apply the fused stencil to ``segments`` of shape ``(n, *local_shape)``."""
+        segments = np.asarray(segments, dtype=np.float64)
+        if segments.ndim != 1 + len(self.local_shape) or segments.shape[1:] != self.local_shape:
+            raise PlanError(
+                f"segments must be (n, {self.local_shape}), got {segments.shape}"
+            )
+        nseg = segments.shape[0]
+        if nseg == 0:
+            raise PlanError("need at least one segment")
+
+        stats = MMAStats()
+        pipe = PipelineTrace()
+        cfg = self.config
+        ewise_flops = 0
+
+        # ---- Double-layer Filling: two real segments per complex pass.
+        if cfg.double_layer:
+            if nseg % 2:
+                segments = np.concatenate(
+                    [segments, np.zeros((1,) + self.local_shape)], axis=0
+                )
+            z = segments[0::2] + 1j * segments[1::2]
+        else:
+            z = segments.astype(np.complex128)
+        passes = z.shape[0]
+
+        # ---- scatter the innermost axis (Diagonal Data Indexing).
+        work = self.pfa.scatter(z) if self.pfa is not None else z
+        # work shape: (passes, [accum axis], *transform_dims)
+        n_taxes = len(self.transform_dims)
+        taxes = tuple(range(work.ndim - n_taxes, work.ndim))
+
+        # Stage the input fragments once from SMEM.
+        pipe.emit("smem_ld", self._operand_tiles(work))
+
+        # ---- forward transform: one dense DFT matmul per transform axis.
+        for ax, f in zip(taxes, self.f_mats):
+            work = self._axis_matmul(f, work, ax, stats, pipe, load_matrix=True)
+
+        # ---- apply the fused kernel in the (mixed) frequency domain.
+        if self.accumulate:
+            # Banded slice accumulation: Y~[z] = sum_dz H^_dz * X~[z+dz].
+            acc = np.zeros_like(work)
+            for dz, spec_nd in zip(self.accum_offsets, self.accum_spectra):
+                acc += np.roll(work, -dz, axis=1) * spec_nd[None, None]
+            work = acc
+            n_mac = int(np.prod(work.shape)) * len(self.accum_offsets)
+            ewise_flops += 8 * n_mac  # complex MAC = 8 real flops
+            pipe.emit("ewise", -(-n_mac * 4 // 32))
+        else:
+            n_cmul = int(np.prod(work.shape))
+            work = work * self.spec_layout[None, ...]
+            ewise_flops += 6 * n_cmul  # complex multiply = 6 real flops
+            pipe.emit("ewise", -(-n_cmul * 4 // 32))
+        # The k_f operand reuses fragment C registers when squeezing,
+        # otherwise it is fetched from SMEM.
+        if not cfg.squeeze_registers:
+            pipe.emit("smem_ld", self._operand_tiles(work))
+
+        # ---- inverse transform.
+        for ax, imat in zip(taxes, self.if_mats):
+            # Squeezed kernels recompute iF = conj(F)/N in registers
+            # (a negation per element); unsqueezed kernels load it.
+            if cfg.squeeze_registers:
+                pipe.emit("ewise", -(-imat.size // 32))
+                load_matrix = False
+            else:
+                load_matrix = True
+            work = self._axis_matmul(imat, work, ax, stats, pipe, load_matrix=load_matrix)
+
+        # ---- gather back to natural segment order and unpack the layers.
+        out_z = self.pfa.gather(work) if self.pfa is not None else work
+        pipe.emit("smem_st", self._operand_tiles(out_z))
+
+        if cfg.double_layer:
+            out = np.empty((passes * 2,) + self.local_shape, dtype=np.float64)
+            out[0::2] = out_z.real
+            out[1::2] = out_z.imag
+            out = out[:nseg]
+        else:
+            out = np.ascontiguousarray(out_z.real)
+
+        return StreamlineResult(
+            output=out,
+            mma_stats=stats,
+            pipeline=pipe,
+            passes=passes,
+            config=cfg,
+            ewise_flops=ewise_flops,
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _axis_matmul(
+        self,
+        mat: np.ndarray,
+        work: np.ndarray,
+        axis: int,
+        stats: MMAStats,
+        pipe: PipelineTrace,
+        load_matrix: bool,
+    ) -> np.ndarray:
+        """Left-multiply ``mat`` along ``axis`` as one big batched TCU product.
+
+        All passes and all remaining axes are flattened into the MMA ``n``
+        dimension — the segment-batching that keeps fragments dense.
+        """
+        n = work.shape[axis]
+        moved = np.moveaxis(work, axis, 0)
+        flat = moved.reshape(n, -1)
+        before = stats.mma_ops
+        prod = complex_tc_matmul(mat, flat, stats, method=self.config.complex_method)
+        new_mmas = stats.mma_ops - before
+        pipe.emit("mma", new_mmas)
+        if load_matrix:
+            mt, kt, _ = fragment_tile_counts(mat.shape[0], mat.shape[1], flat.shape[1])
+            pipe.emit("smem_ld", 2 * mt * kt)  # real+imag planes of the DFT matrix
+        # Hand the result to the next product: register swizzle vs SMEM trip.
+        c_tiles = self._c_tiles(prod)
+        if self.config.swizzle:
+            pipe.emit("reg_move", c_tiles)
+        else:
+            pipe.emit("smem_st", c_tiles)
+            pipe.emit("sync", 1)
+            pipe.emit("smem_ld", c_tiles)
+        out = prod.reshape(moved.shape)
+        return np.moveaxis(out, 0, axis)
+
+    @staticmethod
+    def _c_tiles(mat2d: np.ndarray) -> int:
+        """8x8 result-fragment count for a (rows, cols) complex product."""
+        rows, cols = mat2d.shape
+        return 2 * (-(-rows // 8)) * (-(-cols // 8))
+
+    @staticmethod
+    def _operand_tiles(work: np.ndarray) -> int:
+        """Fragment-granular SMEM transactions to stage a complex operand."""
+        n = int(np.prod(work.shape))
+        return -(-2 * n // 64)  # real+imag planes, 64 elements per fragment

@@ -1,0 +1,256 @@
+"""Kernel Tailoring on HBM (§3.1): splitting, fusing, stitching.
+
+The standard FFT stencil round-trips the *whole* grid through HBM three times
+per step (FFT kernel, element-wise multiply kernel, iFFT kernel) and stores
+auxiliary DFT matrices that grow quadratically with the grid.  Kernel
+Tailoring replaces this with classic overlap-save decomposition:
+
+* **Splitting** — the grid is cut into output tiles of ``S`` points per axis;
+  each tile's *input window* of ``L = S + 2*R`` points (halo ``R = steps *
+  radius``, Equation (4) generalised to ``T`` fused steps) fits in one SM's
+  shared memory.
+* **Fusing** — within a window, FFT -> element-wise multiply by the
+  (temporally fused) kernel spectrum -> iFFT run back-to-back with no HBM
+  round trip.  Because the window's halo covers the full dependency cone, the
+  circular wraparound of the local FFT only ever touches halo points that
+  are discarded, so the result is exact (Equations (6)-(7)).
+* **Stitching** — each window contributes exactly its valid interior
+  ``[R, R+S)`` back to the output grid.
+
+All windows share one set of auxiliary data of size ``2*(2*L**2 + L)`` reals
+instead of ``2*(2*N**2 + N)`` — the memory-footprint saving of Figure 8 —
+and every window is independent, restoring the SM-level parallelism that the
+global data dependence of a whole-grid FFT destroys.
+
+This module is the *numerical* engine (batched NumPy FFTs over windows).
+:mod:`repro.core.streamline` lowers the per-window math onto the emulated
+TCU; :mod:`repro.gpusim` costs the data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import PlanError
+from .kernels import StencilKernel
+from .reference import Boundary, run_stencil
+
+__all__ = ["SegmentPlan", "tailored_fft_stencil"]
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """An overlap-save decomposition of one fused stencil application.
+
+    Parameters
+    ----------
+    grid_shape:
+        Shape of the full input/output grid.
+    kernel:
+        The stencil to apply.
+    steps:
+        Number of time steps fused into this plan (``>= 1``).  The halo is
+        ``steps * radius`` per axis; Equation (10) fuses the spectrum.
+    valid_shape:
+        Output tile size ``S`` per axis.  The local FFT window is
+        ``S + 2*halo`` per axis.
+    boundary:
+        ``"periodic"`` (exact) or ``"zero"`` (exact: free evolution inside,
+        boundary band of width ``steps*radius`` recomputed sequentially).
+    """
+
+    grid_shape: tuple[int, ...]
+    kernel: StencilKernel
+    steps: int
+    valid_shape: tuple[int, ...]
+    boundary: Boundary = "periodic"
+
+    def __post_init__(self) -> None:
+        gs = tuple(int(s) for s in self.grid_shape)
+        vs = tuple(int(s) for s in self.valid_shape)
+        object.__setattr__(self, "grid_shape", gs)
+        object.__setattr__(self, "valid_shape", vs)
+        if self.steps < 1:
+            raise PlanError(f"steps must be >= 1, got {self.steps}")
+        if len(gs) != self.kernel.ndim or len(vs) != self.kernel.ndim:
+            raise PlanError(
+                f"grid {gs} / tiles {vs} must match kernel ndim {self.kernel.ndim}"
+            )
+        if any(s < 1 for s in vs):
+            raise PlanError(f"tile extents must be >= 1, got {vs}")
+        if any(v > g for v, g in zip(vs, gs)):
+            raise PlanError(f"tile {vs} larger than grid {gs}")
+        if self.boundary not in ("periodic", "zero"):
+            raise PlanError(f"unsupported boundary {self.boundary!r}")
+
+    # -------------------------------------------------------------- geometry
+
+    @cached_property
+    def halo(self) -> tuple[int, ...]:
+        """Per-axis halo ``R = steps * radius`` — the fused dependency reach."""
+        return tuple(self.steps * r for r in self.kernel.radius)
+
+    @cached_property
+    def local_shape(self) -> tuple[int, ...]:
+        """Per-axis FFT window extent ``L = S + 2R`` (Equation (4): S <= L - T(M-1))."""
+        return tuple(s + 2 * r for s, r in zip(self.valid_shape, self.halo))
+
+    @cached_property
+    def starts(self) -> list[np.ndarray]:
+        """Per-axis output-tile start offsets (last tile may be ragged)."""
+        return [
+            np.arange(0, g, s) for g, s in zip(self.grid_shape, self.valid_shape)
+        ]
+
+    @cached_property
+    def num_segments(self) -> tuple[int, ...]:
+        return tuple(len(s) for s in self.starts)
+
+    @property
+    def total_segments(self) -> int:
+        return int(np.prod(self.num_segments))
+
+    # ------------------------------------------------------ memory accounting
+
+    def auxiliary_floats(self) -> int:
+        """Shared auxiliary storage in FP64 words: ``2*(2*L**2 + L)``.
+
+        One complex ``LxL`` DFT matrix pair collapses to a single stored
+        forward matrix (``2*L**2`` reals; the inverse is recomputed —
+        Squeezing Registers) plus the transformed kernel (``2*L`` reals),
+        mirroring the paper's §3.1 accounting with ``L = prod(local_shape)``.
+        """
+        l = int(np.prod(self.local_shape))
+        return 2 * (2 * l * l + l)
+
+    @staticmethod
+    def standard_auxiliary_floats(grid_shape: Sequence[int]) -> int:
+        """Auxiliary storage of the *untailored* FFT stencil: ``2*(2*N**2+N)``."""
+        n = int(np.prod(tuple(grid_shape)))
+        return 2 * (2 * n * n + n)
+
+    # ------------------------------------------------------------- execution
+
+    def split(self, grid: np.ndarray) -> np.ndarray:
+        """Gather every input window into a ``(total_segments, *local_shape)`` batch."""
+        grid = np.asarray(grid, dtype=np.float64)
+        if grid.shape != self.grid_shape:
+            raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
+        idx_per_axis = []
+        for ax, (starts, r, l, g) in enumerate(
+            zip(self.starts, self.halo, self.local_shape, self.grid_shape)
+        ):
+            # window for tile at `start` covers [start - R, start - R + L)
+            offs = starts[:, None] - r + np.arange(l)[None, :]
+            idx_per_axis.append(offs)
+        if self.boundary == "periodic":
+            idx_per_axis = [o % g for o, g in zip(idx_per_axis, self.grid_shape)]
+            src = grid
+        else:
+            # zero boundary: read from a zero-padded copy so out-of-range
+            # indices resolve to 0.
+            pads = [(r, r + l) for r, l in zip(self.halo, self.local_shape)]
+            src = np.pad(grid, pads)
+            idx_per_axis = [o + r for o, r in zip(idx_per_axis, self.halo)]
+        # Build an open mesh over (tile_i, offset_i) per axis and gather.
+        ndim = grid.ndim
+        mesh = []
+        for ax, offs in enumerate(idx_per_axis):
+            shape = [1] * (2 * ndim)
+            shape[ax] = offs.shape[0]
+            shape[ndim + ax] = offs.shape[1]
+            mesh.append(offs.reshape(shape))
+        windows = src[tuple(mesh)]
+        return windows.reshape((self.total_segments,) + self.local_shape)
+
+    def fused_spectrum(self) -> np.ndarray:
+        """The window-local fused kernel spectrum ``H_L ** steps``."""
+        return self.kernel.temporal_spectrum(self.local_shape, self.steps)
+
+    def fuse(self, windows: np.ndarray) -> np.ndarray:
+        """Per-window FFT -> multiply -> iFFT, batched over the segment axis."""
+        if windows.shape != (self.total_segments,) + self.local_shape:
+            raise PlanError(
+                f"windows shape {windows.shape} != "
+                f"{(self.total_segments,) + self.local_shape}"
+            )
+        axes = tuple(range(1, windows.ndim))
+        spec = self.fused_spectrum()
+        out = np.fft.ifftn(np.fft.fftn(windows, axes=axes) * spec, axes=axes)
+        return np.real(out)
+
+    def stitch(self, fused: np.ndarray) -> np.ndarray:
+        """Scatter each window's valid interior back into a full grid."""
+        out = np.empty(self.grid_shape, dtype=np.float64)
+        fused = fused.reshape(self.num_segments + self.local_shape)
+        ndim = len(self.grid_shape)
+        for tile_idx in np.ndindex(*self.num_segments):
+            dst = []
+            src = []
+            for ax in range(ndim):
+                start = int(self.starts[ax][tile_idx[ax]])
+                stop = min(start + self.valid_shape[ax], self.grid_shape[ax])
+                dst.append(slice(start, stop))
+                r = self.halo[ax]
+                src.append(slice(r, r + (stop - start)))
+            out[tuple(dst)] = fused[tile_idx + tuple(src)]
+        return out
+
+    def run(self, grid: np.ndarray) -> np.ndarray:
+        """Split -> fuse -> stitch; exact for both supported boundaries."""
+        out = self.stitch(self.fuse(self.split(grid)))
+        if self.boundary == "zero" and self.steps > 1:
+            out = self.fix_zero_boundary_band(np.asarray(grid, dtype=np.float64), out)
+        return out
+
+    def fix_zero_boundary_band(
+        self, grid: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """Exact zero-BC boundary band (same slab strategy as spectral.py)."""
+        band = self.halo
+        for axis in range(grid.ndim):
+            b = band[axis]
+            if b == 0:
+                continue
+            sl = min(2 * b, grid.shape[axis])
+            for side in (0, 1):
+                take = slice(0, sl) if side == 0 else slice(-sl, None)
+                keep_w = min(b, sl)
+                keep = slice(0, keep_w) if side == 0 else slice(-keep_w, None)
+                idx_in = tuple(
+                    take if ax == axis else slice(None) for ax in range(grid.ndim)
+                )
+                evolved = run_stencil(
+                    grid[idx_in], self.kernel, self.steps, boundary="zero"
+                )
+                idx_keep = tuple(
+                    keep if ax == axis else slice(None) for ax in range(grid.ndim)
+                )
+                out[idx_keep] = evolved[idx_keep]
+        return out
+
+
+def tailored_fft_stencil(
+    grid: np.ndarray,
+    kernel: StencilKernel,
+    steps: int = 1,
+    tile: int | Sequence[int] | None = None,
+    boundary: Boundary = "periodic",
+) -> np.ndarray:
+    """Convenience wrapper: build a :class:`SegmentPlan` and run it.
+
+    ``tile`` is the per-axis valid output size ``S``; by default a tile of
+    up to 4x the fused halo (min 32) per axis, clipped to the grid.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    halo = tuple(steps * r for r in kernel.radius)
+    if tile is None:
+        tile = tuple(min(g, max(32, 4 * r)) for g, r in zip(grid.shape, halo))
+    elif isinstance(tile, (int, np.integer)):
+        tile = (int(tile),) * kernel.ndim
+    plan = SegmentPlan(grid.shape, kernel, steps, tuple(tile), boundary)
+    return plan.run(grid)

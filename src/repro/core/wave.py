@@ -1,0 +1,320 @@
+"""Second-order (wave-equation) stencils with unrestricted temporal fusion.
+
+The paper's motivating applications include electromagnetics and seismic
+modelling (§1) whose leapfrog updates are *two-step* recurrences,
+
+    u[t+1] = A * u[t]  +  B * u[t-1],
+
+with ``A`` and ``B`` stencils (e.g. the classic wave equation:
+``A = 2*delta + c^2 * Laplacian``, ``B = -delta``).  Equation (10)'s scalar
+spectrum power does not apply directly — but its natural generalisation
+does: in the frequency domain each mode ``k`` evolves by the 2x2 companion
+matrix
+
+    M(k) = [[ A^(k), B^(k) ],
+            [   1  ,   0   ]],
+
+so fusing ``T`` steps is the *matrix* power ``M(k)**T``, computed once per
+mode — the same precompute-once, multiply-everywhere structure that makes
+FlashFFTStencil's fusion unrestricted, now for order-2 dynamics.  All the
+§3.1 machinery carries over: windows with halo ``T * r`` make the fused
+update window-local, so split/fuse/stitch works unchanged (both state
+fields ride in the same window).
+
+This module provides the direct reference (:func:`run_two_step_reference`),
+the whole-domain fused engine, and the tailored (overlap-save) engine, for
+periodic and zero boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import KernelError, PlanError
+from .kernels import StencilKernel, heat_1d  # noqa: F401  (doc cross-ref)
+from .reference import Boundary, apply_stencil
+from .tailoring import SegmentPlan
+
+__all__ = [
+    "TwoStepStencil",
+    "run_two_step_reference",
+    "wave_equation",
+    "WaveFFTPlan",
+]
+
+
+def _identity_kernel(ndim: int, scale: float = 1.0) -> StencilKernel:
+    return StencilKernel([(0,) * ndim], [scale], name=f"{scale}*delta")
+
+
+@dataclass(frozen=True)
+class TwoStepStencil:
+    """A linear two-step recurrence ``u[t+1] = A*u[t] + B*u[t-1]``."""
+
+    a: StencilKernel
+    b: StencilKernel
+    name: str = "two-step"
+
+    def __post_init__(self) -> None:
+        if self.a.ndim != self.b.ndim:
+            raise KernelError(
+                f"A is {self.a.ndim}-D but B is {self.b.ndim}-D"
+            )
+
+    @property
+    def ndim(self) -> int:
+        return self.a.ndim
+
+    @cached_property
+    def max_radius(self) -> int:
+        """Per-step dependency reach (both operands read the past states)."""
+        return max(self.a.max_radius, self.b.max_radius)
+
+    def companion_spectrum(
+        self, shape: int | Sequence[int], steps: int
+    ) -> np.ndarray:
+        """``M(k)**steps`` for every mode: shape ``(*shape, 2, 2)`` complex.
+
+        The matrix power is taken by binary exponentiation, vectorised over
+        all modes at once.
+        """
+        if steps < 0:
+            raise KernelError(f"steps must be >= 0, got {steps}")
+        a_hat = self.a.spectrum(shape)
+        b_hat = self.b.spectrum(shape)
+        m = np.zeros(a_hat.shape + (2, 2), dtype=np.complex128)
+        m[..., 0, 0] = a_hat
+        m[..., 0, 1] = b_hat
+        m[..., 1, 0] = 1.0
+        out = np.zeros_like(m)
+        out[..., 0, 0] = 1.0
+        out[..., 1, 1] = 1.0
+        base = m
+        e = steps
+        while e > 0:
+            if e & 1:
+                out = np.einsum("...ij,...jk->...ik", out, base)
+            base = np.einsum("...ij,...jk->...ik", base, base)
+            e >>= 1
+        return out
+
+
+def wave_equation(
+    laplacian: StencilKernel, courant2: float = 0.25
+) -> TwoStepStencil:
+    """The leapfrog wave equation for a given Laplacian-like stencil.
+
+    ``u[t+1] = 2 u[t] + c^2 L u[t] - u[t-1]`` where ``L = laplacian - delta``
+    is taken relative to the stencil's own centre weight, i.e. the supplied
+    kernel is used directly as the spatial operator with its centre adjusted:
+    ``A = 2*delta + courant2 * (laplacian - delta_sum)``.
+
+    For the Table-3 heat kernels (weights summing to 1) this yields the
+    standard stable leapfrog discretisation for ``courant2 <= 1``.
+    """
+    if not 0 < courant2 <= 1.0:
+        raise KernelError(f"courant2 must be in (0, 1], got {courant2}")
+    # L = laplacian - I (the diffusion part of a weights-sum-1 kernel).
+    offsets = list(laplacian.offsets)
+    weights = list(laplacian.weights)
+    centre = (0,) * laplacian.ndim
+    a_map = {off: courant2 * w for off, w in zip(offsets, weights)}
+    a_map[centre] = a_map.get(centre, 0.0) - courant2 + 2.0
+    a = StencilKernel(list(a_map), list(a_map.values()), name=f"wave-A[{laplacian.name}]")
+    b = _identity_kernel(laplacian.ndim, -1.0)
+    return TwoStepStencil(a=a, b=b, name=f"wave[{laplacian.name}]")
+
+
+def run_two_step_reference(
+    u_prev: np.ndarray,
+    u_curr: np.ndarray,
+    scheme: TwoStepStencil,
+    steps: int,
+    boundary: Boundary = "periodic",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Direct time stepping; returns ``(u[T-1], u[T])``."""
+    if steps < 0:
+        raise PlanError(f"steps must be >= 0, got {steps}")
+    prev = np.asarray(u_prev, dtype=np.float64).copy()
+    curr = np.asarray(u_curr, dtype=np.float64).copy()
+    if prev.shape != curr.shape:
+        raise PlanError(f"state shapes differ: {prev.shape} vs {curr.shape}")
+    for _ in range(steps):
+        nxt = apply_stencil(curr, scheme.a, boundary) + apply_stencil(
+            prev, scheme.b, boundary
+        )
+        prev, curr = curr, nxt
+    return prev, curr
+
+
+class WaveFFTPlan:
+    """Fused spectral evolution of a two-step recurrence.
+
+    ``tile=None`` evolves the whole (periodic) domain in one transform pair;
+    a tile activates Kernel-Tailoring-style overlap-save windows whose halo
+    covers the fused dependency cone ``steps * max_radius``.  Zero
+    boundaries get the exact boundary-band recompute, as for first-order
+    plans.
+    """
+
+    def __init__(
+        self,
+        grid_shape: int | Sequence[int],
+        scheme: TwoStepStencil,
+        fused_steps: int = 8,
+        boundary: Boundary = "periodic",
+        tile: int | Sequence[int] | None = None,
+    ) -> None:
+        if isinstance(grid_shape, (int, np.integer)):
+            grid_shape = (int(grid_shape),)
+        self.grid_shape = tuple(int(s) for s in grid_shape)
+        if len(self.grid_shape) != scheme.ndim:
+            raise PlanError(
+                f"grid {self.grid_shape} does not match {scheme.ndim}-D scheme"
+            )
+        if fused_steps < 1:
+            raise PlanError(f"fused_steps must be >= 1, got {fused_steps}")
+        if boundary not in ("periodic", "zero"):
+            raise PlanError(f"unsupported boundary {boundary!r}")
+        self.scheme = scheme
+        self.fused_steps = int(fused_steps)
+        self.boundary: Boundary = boundary
+        if tile is None:
+            self._segments: SegmentPlan | None = None
+            self._companion = scheme.companion_spectrum(
+                self.grid_shape, self.fused_steps
+            )
+        else:
+            if isinstance(tile, (int, np.integer)):
+                tile = (int(tile),) * scheme.ndim
+            # Geometry (halo, windows, stitching) is shared with first-order
+            # plans; the probe kernel below only fixes the per-step radius.
+            probe = StencilKernel(
+                [(0,) * scheme.ndim, (scheme.max_radius,) * scheme.ndim],
+                [1.0, 1.0],
+            )
+            self._segments = SegmentPlan(
+                self.grid_shape, probe, self.fused_steps, tuple(tile), boundary
+            )
+            self._companion = scheme.companion_spectrum(
+                self._segments.local_shape, self.fused_steps
+            )
+
+    # ------------------------------------------------------------- stepping
+
+    def _fuse(self, prev_f: np.ndarray, curr_f: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Apply the fused companion power in the frequency domain."""
+        m = self._companion
+        new_curr = m[..., 0, 0] * curr_f + m[..., 0, 1] * prev_f
+        new_prev = m[..., 1, 0] * curr_f + m[..., 1, 1] * prev_f
+        return new_prev, new_curr
+
+    def _apply_whole(self, prev: np.ndarray, curr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        axes = tuple(range(prev.ndim))
+        pf = np.fft.fftn(prev, axes=axes)
+        cf = np.fft.fftn(curr, axes=axes)
+        npf, ncf = self._fuse(pf, cf)
+        return (
+            np.real(np.fft.ifftn(npf, axes=axes)),
+            np.real(np.fft.ifftn(ncf, axes=axes)),
+        )
+
+    def _apply_tiled(self, prev: np.ndarray, curr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        seg = self._segments
+        assert seg is not None
+        wp = seg.split(prev)
+        wc = seg.split(curr)
+        axes = tuple(range(1, wp.ndim))
+        pf = np.fft.fftn(wp, axes=axes)
+        cf = np.fft.fftn(wc, axes=axes)
+        npf, ncf = self._fuse(pf, cf)
+        return (
+            seg.stitch(np.real(np.fft.ifftn(npf, axes=axes))),
+            seg.stitch(np.real(np.fft.ifftn(ncf, axes=axes))),
+        )
+
+    def _fix_zero_band(
+        self,
+        prev0: np.ndarray,
+        curr0: np.ndarray,
+        out: tuple[np.ndarray, np.ndarray],
+        steps: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Exact zero-boundary band via slab recompute (cf. spectral.py)."""
+        band = steps * self.scheme.max_radius
+        prev_o, curr_o = out
+        grid = curr0
+        for axis in range(grid.ndim):
+            b = band
+            if b == 0:
+                continue
+            # Slab must cover both the exact outer band and the operand
+            # footprints of the reference engine evolving it.
+            min_width = max(2 * b, 2 * self.scheme.max_radius + 1)
+            sl = min(min_width, grid.shape[axis])
+            for side in (0, 1):
+                take = slice(0, sl) if side == 0 else slice(-sl, None)
+                keep_w = min(b, sl)
+                keep = slice(0, keep_w) if side == 0 else slice(-keep_w, None)
+                idx_in = tuple(
+                    take if ax == axis else slice(None) for ax in range(grid.ndim)
+                )
+                ep, ec = run_two_step_reference(
+                    prev0[idx_in], curr0[idx_in], self.scheme, steps, boundary="zero"
+                )
+                idx_keep = tuple(
+                    keep if ax == axis else slice(None) for ax in range(grid.ndim)
+                )
+                prev_o[idx_keep] = ep[idx_keep]
+                curr_o[idx_keep] = ec[idx_keep]
+        return prev_o, curr_o
+
+    def apply(
+        self, u_prev: np.ndarray, u_curr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One fused application: advance the state pair by ``fused_steps``."""
+        prev = np.asarray(u_prev, dtype=np.float64)
+        curr = np.asarray(u_curr, dtype=np.float64)
+        if prev.shape != self.grid_shape or curr.shape != self.grid_shape:
+            raise PlanError(
+                f"state shapes {prev.shape}/{curr.shape} != plan {self.grid_shape}"
+            )
+        if self.boundary == "zero":
+            # Evolve free-space on a padded domain, then restrict + fix band.
+            pad = self.fused_steps * self.scheme.max_radius
+            pads = [(pad, pad)] * prev.ndim
+            big = WaveFFTPlan(
+                tuple(s + 2 * pad for s in self.grid_shape),
+                self.scheme,
+                self.fused_steps,
+                boundary="periodic",
+            )
+            po, co = big._apply_whole(np.pad(prev, pads), np.pad(curr, pads))
+            inner = tuple(slice(pad, pad + s) for s in self.grid_shape)
+            out = (np.ascontiguousarray(po[inner]), np.ascontiguousarray(co[inner]))
+            return self._fix_zero_band(prev, curr, out, self.fused_steps)
+        if self._segments is None:
+            return self._apply_whole(prev, curr)
+        return self._apply_tiled(prev, curr)
+
+    def run(
+        self, u_prev: np.ndarray, u_curr: np.ndarray, total_steps: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Advance ``total_steps`` steps (fused chunks + residual)."""
+        if total_steps < 0:
+            raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        prev = np.asarray(u_prev, dtype=np.float64).copy()
+        curr = np.asarray(u_curr, dtype=np.float64).copy()
+        full, rem = divmod(total_steps, self.fused_steps)
+        for _ in range(full):
+            prev, curr = self.apply(prev, curr)
+        if rem:
+            tail = WaveFFTPlan(
+                self.grid_shape, self.scheme, rem, boundary=self.boundary
+            )
+            prev, curr = tail.apply(prev, curr)
+        return prev, curr

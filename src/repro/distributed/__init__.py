@@ -1,0 +1,21 @@
+"""Multi-GPU deployment layer: slab decomposition, halo exchange, scaling.
+
+Functional simulation (:class:`DistributedStencil` really partitions and
+exchanges; exact against single-device engines) plus a compute/communication
+cost model for strong-scaling predictions.
+"""
+
+from .costmodel import NVLINK4, PCIE5, Interconnect, ScalingPoint, scaling_curve
+from .decomposition import SlabDecomposition, exchange_halos
+from .simulator import DistributedStencil
+
+__all__ = [
+    "DistributedStencil",
+    "Interconnect",
+    "NVLINK4",
+    "PCIE5",
+    "ScalingPoint",
+    "SlabDecomposition",
+    "exchange_halos",
+    "scaling_curve",
+]

@@ -1,0 +1,131 @@
+"""Functional multi-GPU stencil execution over a slab decomposition.
+
+Each fused application follows the canonical distributed-stencil loop:
+
+    1. halo exchange (ring pattern, ``fused_steps * radius`` cells/face),
+    2. rank-local fused FFT-stencil on the extended slab,
+    3. trim the halo — the interior is exact because the exchanged halo
+       covers the fused dependency cone.
+
+Every rank's local work goes through the same single-device engines tested
+elsewhere, so distributed-vs-single agreement is a pure statement about the
+decomposition/exchange logic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import StencilKernel
+from ..core.reference import Boundary, run_stencil
+from ..core.spectral import fft_stencil_periodic
+from ..errors import PlanError
+from .decomposition import SlabDecomposition, exchange_halos
+
+__all__ = ["DistributedStencil"]
+
+
+class DistributedStencil:
+    """A multi-rank fused-stencil runner (simulated in-process).
+
+    Parameters
+    ----------
+    grid_shape:
+        Global problem shape.
+    kernel:
+        The stencil to advance.
+    ranks:
+        Number of simulated devices (axis-0 slabs).
+    fused_steps:
+        Temporal fusion depth per exchange — deeper fusion trades wider
+        halos for fewer communication rounds, the classic trade-off the
+        FFT bridge makes cheap (Equation (10) needs no extra parameters).
+    """
+
+    def __init__(
+        self,
+        grid_shape: int | tuple[int, ...],
+        kernel: StencilKernel,
+        ranks: int,
+        fused_steps: int = 4,
+        boundary: Boundary = "periodic",
+    ) -> None:
+        if isinstance(grid_shape, (int, np.integer)):
+            grid_shape = (int(grid_shape),)
+        grid_shape = tuple(int(s) for s in grid_shape)
+        if len(grid_shape) != kernel.ndim:
+            raise PlanError(
+                f"grid {grid_shape} does not match {kernel.ndim}-D kernel"
+            )
+        if fused_steps < 1:
+            raise PlanError(f"fused_steps must be >= 1, got {fused_steps}")
+        self.kernel = kernel
+        self.fused_steps = int(fused_steps)
+        self.boundary: Boundary = boundary
+        self.deco = SlabDecomposition(
+            grid_shape,
+            ranks,
+            halo=self.fused_steps * kernel.radius[0],
+            boundary=boundary,
+        )
+        self.exchanges_performed = 0
+
+    @property
+    def ranks(self) -> int:
+        return self.deco.ranks
+
+    # ------------------------------------------------------------- stepping
+
+    def run(self, grid: np.ndarray, total_steps: int) -> np.ndarray:
+        """Advance the global grid; exact vs the single-device engines."""
+        if total_steps < 0:
+            raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        slabs = self.deco.scatter(np.asarray(grid, dtype=np.float64))
+        remaining = total_steps
+        while remaining > 0:
+            t = min(self.fused_steps, remaining)
+            if t != self.fused_steps:
+                # Residual chunk needs a narrower halo.
+                deco = SlabDecomposition(
+                    self.deco.grid_shape,
+                    self.ranks,
+                    halo=t * self.kernel.radius[0],
+                    boundary=self.boundary,
+                )
+            else:
+                deco = self.deco
+            extended = exchange_halos(slabs, deco)
+            self.exchanges_performed += 1
+            slabs = [
+                self._fused_local(deco, ext, t, rank)
+                for rank, ext in enumerate(extended)
+            ]
+            remaining -= t
+        return self.deco.gather(slabs)
+
+    def _fused_local(
+        self, deco: SlabDecomposition, extended: np.ndarray, steps: int, rank: int
+    ) -> np.ndarray:
+        """Fused update of one halo-extended slab; returns the trimmed interior.
+
+        Periodic: one fused FFT pass — the halo absorbs every wrapped read
+        of the fused cone (the Kernel Tailoring argument one level up).
+        Zero: direct stepping with the *global-boundary* halo re-zeroed
+        after every step, because cells beyond the global grid read as 0 at
+        every time level, not just the first.
+        """
+        h = deco.halo
+        if self.boundary == "periodic":
+            out = fft_stencil_periodic(extended, self.kernel, steps, fused=True)
+            return out[h : out.shape[0] - h] if h else out
+        out = extended.copy()
+        first = rank == 0
+        last = rank == deco.ranks - 1
+        for _ in range(steps):
+            out = run_stencil(out, self.kernel, 1, boundary="zero")
+            if h:
+                if first:
+                    out[:h] = 0.0
+                if last:
+                    out[-h:] = 0.0
+        return out[h : out.shape[0] - h] if h else out

@@ -1,0 +1,42 @@
+"""Exception hierarchy for the FlashFFTStencil reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything originating here with a single ``except`` clause while
+still letting programming errors (``TypeError`` on wrong argument types,
+etc.) propagate normally.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "KernelError",
+    "PlanError",
+    "PFAError",
+    "SimulationError",
+    "BoundaryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class KernelError(ReproError, ValueError):
+    """Invalid stencil kernel definition (offsets/weights mismatch, empty, ...)."""
+
+
+class PlanError(ReproError, ValueError):
+    """A FlashFFTStencil execution plan could not be constructed or applied."""
+
+
+class PFAError(ReproError, ValueError):
+    """Prime-Factor FFT constraints violated (non co-prime factors, size mismatch)."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The GPU performance model was driven with inconsistent inputs."""
+
+
+class BoundaryError(ReproError, ValueError):
+    """Unsupported or inconsistent boundary-condition request."""

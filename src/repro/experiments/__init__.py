@@ -1,0 +1,26 @@
+"""One runner per paper artifact; ``python -m repro.experiments all``."""
+
+from .figures import fig6, fig7, fig8, fig9, fig10
+from .extensions import accuracy, scaling
+from .future import future_gpus
+from .runner import EXPERIMENTS, main
+from .tables import table1, table2, table3, table4
+from .validate import validate
+
+__all__ = [
+    "EXPERIMENTS",
+    "accuracy",
+    "scaling",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "future_gpus",
+    "main",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "validate",
+]

@@ -1,0 +1,28 @@
+"""Small text-table helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+__all__ = ["header", "rule", "table"]
+
+
+def header(title: str) -> str:
+    bar = "=" * max(len(title), 8)
+    return f"\n{bar}\n{title}\n{bar}"
+
+
+def rule(width: int) -> str:
+    return "-" * width
+
+
+def table(rows: list[list[str]], headers: list[str]) -> str:
+    """Render an aligned plain-text table."""
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i in range(cols):
+            widths[i] = max(widths[i], len(row[i]))
+    def fmt(cells: list[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), rule(len(fmt(headers)))]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)

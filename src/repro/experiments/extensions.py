@@ -1,0 +1,85 @@
+"""Extension studies beyond the paper's figures: scaling and accuracy.
+
+* ``scaling`` — strong-scaling prediction of FlashFFTStencil over 1-16
+  simulated GPUs (slab decomposition + NVLink halo exchange), with the
+  functional multi-rank simulation validated at reduced scale first.
+* ``accuracy`` — fused-vs-sequential roundoff across fusion depths: the
+  numerical guardrail behind §4's "theoretically unrestricted" fusion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.accuracy import fusion_error_sweep
+from ..core.kernels import heat_1d
+from ..core.reference import run_stencil
+from ..distributed import DistributedStencil, NVLINK4, scaling_curve
+from ..workloads.generators import random_field
+from ._fmt import header, table
+
+__all__ = ["scaling", "accuracy"]
+
+
+def scaling() -> str:
+    """Strong scaling of FlashFFTStencil across simulated GPUs."""
+    kernel = heat_1d()
+    # 1) functional check: the 4-rank simulation is exact at reduced scale.
+    grid = random_field(4096, seed=2)
+    dist = DistributedStencil((4096,), kernel, ranks=4, fused_steps=8)
+    got = dist.run(grid, 32)
+    err = float(np.max(np.abs(got - run_stencil(grid, kernel, 32))))
+    assert err < 1e-8
+
+    # 2) paper-scale prediction.
+    pts = scaling_curve(
+        kernel, 512 * 2**20, 1000, rank_counts=(1, 2, 4, 8, 16), link=NVLINK4
+    )
+    rows = [
+        [
+            str(p.ranks),
+            f"{p.seconds:.3f}s",
+            f"{p.speedup:.2f}x",
+            f"{p.parallel_efficiency:.0%}",
+            f"{p.comm_fraction:.1%}",
+        ]
+        for p in pts
+    ]
+    note = (
+        f"\nfunctional 4-rank simulation exact to {err:.1e};"
+        "\nhalo exchange = fused_steps x radius cells per face per application"
+    )
+    return (
+        header("Extension: strong scaling over simulated GPUs (Heat-1D, NVLink4)")
+        + "\n"
+        + table(rows, ["ranks", "time", "speedup", "efficiency", "comm share"])
+        + note
+    )
+
+
+def accuracy() -> str:
+    """Fusion-depth roundoff study (the §4 guardrail)."""
+    rows = []
+    for kernel in (heat_1d(), ):
+        for r in fusion_error_sweep(
+            kernel, grid_points=4096, depths=(1, 4, 16, 64, 256), total_steps=256
+        ):
+            rows.append(
+                [
+                    kernel.name,
+                    str(r.fused_steps),
+                    str(r.total_steps),
+                    f"{r.max_rel_error:.2e}",
+                    f"{r.spectral_radius:.3f}",
+                ]
+            )
+    note = (
+        "\nspectral radius <= 1 (stable kernel): spectrum powers are"
+        "\nwell-conditioned, so even 256-step fusion stays FP64-exact."
+    )
+    return (
+        header("Extension: temporal-fusion accuracy (fused vs sequential)")
+        + "\n"
+        + table(rows, ["kernel", "fused", "total steps", "max rel err", "spectral radius"])
+        + note
+    )

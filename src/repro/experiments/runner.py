@@ -1,0 +1,64 @@
+"""Experiment CLI: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro.experiments all
+    python -m repro.experiments table4 fig6
+    flashfftstencil-experiments fig9          # console script
+
+Each runner prints the measured/modelled rows next to the paper's reported
+values where the paper states them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .extensions import accuracy, scaling
+from .figures import fig6, fig7, fig8, fig9, fig10
+from .future import future_gpus
+from .tables import table1, table2, table3, table4
+from .validate import validate
+
+__all__ = ["EXPERIMENTS", "main"]
+
+EXPERIMENTS: dict[str, Callable[[], str]] = {
+    "table1": table1,
+    "table2": table2,
+    "table3": table3,
+    "table4": table4,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "fig9": fig9,
+    "fig10": fig10,
+    "future": future_gpus,
+    "scaling": scaling,
+    "accuracy": accuracy,
+    "validate": validate,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="flashfftstencil-experiments",
+        description="Regenerate the FlashFFTStencil paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which artifacts to regenerate ('all' runs everything)",
+    )
+    args = parser.parse_args(argv)
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        print(EXPERIMENTS[name]())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

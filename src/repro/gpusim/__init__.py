@@ -1,0 +1,50 @@
+"""GPU substrate: hardware specs, memory/SMEM/TCU models, occupancy, roofline.
+
+This package is the reproduction's stand-in for the A100/H100 silicon the
+paper measures on.  It is a *measurement* substrate, not a functional
+simulator of CUDA: numerics run in NumPy, while these models observe the
+address streams, fragment contents, and instruction chains the algorithms
+generate and convert them into the Nsight-style metrics (Table 4) and
+execution-time predictions (Figures 6-9) the paper reports.
+"""
+
+from .fragments import SWIZZLE_SIGMA, WarpRegisterFile, swizzle_permutation
+from .memory import CoalescingReport, coalescing_report, element_stream_to_warps, warp_transactions
+from .occupancy import OccupancyReport, occupancy
+from .pipeline import DEFAULT_CYCLES, PipelineTrace, overlap_throughput_factor
+from .roofline import KernelCost, arithmetic_intensity, attainable_gflops, execution_time
+from .smem import BankConflictReport, bank_conflicts, bank_report
+from .spec import A100, B100_PROJECTION, FRAGMENT_SHAPE, H100, GPUSpec, gpu_by_name
+from .tensorcore import MMAStats, complex_tc_matmul, fragment_tile_counts, tc_matmul
+
+__all__ = [
+    "A100",
+    "B100_PROJECTION",
+    "BankConflictReport",
+    "CoalescingReport",
+    "DEFAULT_CYCLES",
+    "FRAGMENT_SHAPE",
+    "GPUSpec",
+    "H100",
+    "KernelCost",
+    "MMAStats",
+    "OccupancyReport",
+    "PipelineTrace",
+    "SWIZZLE_SIGMA",
+    "WarpRegisterFile",
+    "arithmetic_intensity",
+    "attainable_gflops",
+    "bank_conflicts",
+    "bank_report",
+    "coalescing_report",
+    "complex_tc_matmul",
+    "element_stream_to_warps",
+    "execution_time",
+    "fragment_tile_counts",
+    "gpu_by_name",
+    "occupancy",
+    "overlap_throughput_factor",
+    "swizzle_permutation",
+    "tc_matmul",
+    "warp_transactions",
+]

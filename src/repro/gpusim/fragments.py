@@ -1,0 +1,183 @@
+"""FP64 WMMA fragment layouts and the Swizzling-Fragments register map (§3.3).
+
+FP64 tensor cores execute ``D(8x8) = A(8x4) @ B(4x8) + C(8x8)`` per warp.
+Each matrix is distributed over the warp's registers in a fixed *fragment
+layout*.  We model the PTX ``mma.m8n8k4.f64`` ownership pattern:
+
+* **A** (8x4, 1 register/thread):  thread ``t`` holds ``A[t // 4, t % 4]``
+* **B** (4x8, 1 register/thread):  thread ``t`` holds ``B[t % 4, t // 4]``
+* **C/D** (8x8, 2 registers/thread): thread ``t`` holds
+  ``C[t // 4, 2*(t % 4)]`` and ``C[t // 4, 2*(t % 4) + 1]``
+
+Swizzling Fragments
+-------------------
+After one MMA, its result sits in C layout; the *next* multiplication in
+Algorithm 1 wants that result as a right-hand operand (B layout).  Copying
+through shared memory costs two 22-cycle round trips per fragment and stalls
+the TCU pipeline (Figure 5).  Instead, every thread simply *reinterprets* its
+two C registers as its elements of two stacked B fragments.  Chasing the
+ownership maps shows what matrix that reinterpretation yields:
+
+    thread t, register r:   C position (t//4, 2*(t%4) + r)
+                            B_r position (t%4, t//4)
+
+so the stacked 8x8 right operand is ``P_sigma @ C.T`` with the fixed row
+permutation ``sigma = (0, 2, 4, 6, 1, 3, 5, 7)``.  Two facts make this free:
+
+1. Algorithm 1's second factor wants the *transpose* of the first product
+   anyway (``(F1 x) F2^T == (F2 (F1 x)^T)^T``), so the transpose is welcome;
+2. the leftover row permutation is absorbed by pre-permuting the *columns*
+   of the next DFT matrix (:func:`repro.core.dft.permuted_dft`), done once
+   at matrix-generation time.
+
+:class:`WarpRegisterFile` emulates the layouts at single-register
+granularity so tests can verify the identity exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = [
+    "FRAG_M",
+    "FRAG_N",
+    "FRAG_K",
+    "SWIZZLE_SIGMA",
+    "swizzle_permutation",
+    "WarpRegisterFile",
+]
+
+FRAG_M, FRAG_N, FRAG_K = 8, 8, 4
+
+#: Row permutation produced by reinterpreting C registers as stacked B fragments.
+SWIZZLE_SIGMA: tuple[int, ...] = (0, 2, 4, 6, 1, 3, 5, 7)
+
+
+def swizzle_permutation(n: int) -> np.ndarray:
+    """``SWIZZLE_SIGMA`` extended block-diagonally to ``n`` rows (``8 | n``).
+
+    Fragment tiling applies the register swizzle independently inside every
+    8-row tile, so the permutation a full matrix sees is sigma repeated per
+    tile.
+    """
+    if n % FRAG_M != 0:
+        raise SimulationError(f"swizzle permutation needs 8 | n, got n={n}")
+    sigma = np.asarray(SWIZZLE_SIGMA)
+    return (np.arange(0, n, FRAG_M)[:, None] + sigma[None, :]).ravel()
+
+
+class WarpRegisterFile:
+    """Register-accurate emulation of one warp's WMMA fragments.
+
+    The emulator stores values in per-thread register slots and converts
+    to/from logical matrices strictly through the ownership maps above, so
+    any layout shortcut (like the swizzle reinterpretation) is validated at
+    the same granularity the hardware imposes.
+    """
+
+    WARP = 32
+
+    # ------------------------------------------------------------- loaders
+
+    @staticmethod
+    def load_a(a: np.ndarray) -> np.ndarray:
+        """Distribute an 8x4 matrix into A-fragment registers (32,)."""
+        a = _check(a, (FRAG_M, FRAG_K), "A")
+        t = np.arange(WarpRegisterFile.WARP)
+        return a[t // 4, t % 4]
+
+    @staticmethod
+    def load_b(b: np.ndarray) -> np.ndarray:
+        """Distribute a 4x8 matrix into B-fragment registers (32,)."""
+        b = _check(b, (FRAG_K, FRAG_N), "B")
+        t = np.arange(WarpRegisterFile.WARP)
+        return b[t % 4, t // 4]
+
+    @staticmethod
+    def load_c(c: np.ndarray) -> np.ndarray:
+        """Distribute an 8x8 matrix into C-fragment registers (32, 2)."""
+        c = _check(c, (FRAG_M, FRAG_N), "C")
+        t = np.arange(WarpRegisterFile.WARP)
+        return np.stack([c[t // 4, 2 * (t % 4)], c[t // 4, 2 * (t % 4) + 1]], axis=1)
+
+    # ------------------------------------------------------------- stores
+
+    @staticmethod
+    def store_c(regs: np.ndarray) -> np.ndarray:
+        """Gather C-fragment registers (32, 2) back into the logical 8x8."""
+        regs = np.asarray(regs)
+        if regs.shape != (WarpRegisterFile.WARP, 2):
+            raise SimulationError(f"C fragment registers must be (32, 2), got {regs.shape}")
+        out = np.empty((FRAG_M, FRAG_N), dtype=regs.dtype)
+        t = np.arange(WarpRegisterFile.WARP)
+        out[t // 4, 2 * (t % 4)] = regs[:, 0]
+        out[t // 4, 2 * (t % 4) + 1] = regs[:, 1]
+        return out
+
+    @staticmethod
+    def store_b(regs: np.ndarray) -> np.ndarray:
+        """Gather B-fragment registers (32,) back into the logical 4x8."""
+        regs = np.asarray(regs)
+        if regs.shape != (WarpRegisterFile.WARP,):
+            raise SimulationError(f"B fragment registers must be (32,), got {regs.shape}")
+        out = np.empty((FRAG_K, FRAG_N), dtype=regs.dtype)
+        t = np.arange(WarpRegisterFile.WARP)
+        out[t % 4, t // 4] = regs
+        return out
+
+    # -------------------------------------------------------------- compute
+
+    @staticmethod
+    def mma(a_regs: np.ndarray, b_regs: np.ndarray, c_regs: np.ndarray) -> np.ndarray:
+        """One warp-synchronous ``D = A @ B + C`` on fragment registers."""
+        a = WarpRegisterFile.store_a(a_regs)
+        b = WarpRegisterFile.store_b(b_regs)
+        c = WarpRegisterFile.store_c(c_regs)
+        return WarpRegisterFile.load_c(a @ b + c)
+
+    @staticmethod
+    def store_a(regs: np.ndarray) -> np.ndarray:
+        """Gather A-fragment registers (32,) back into the logical 8x4."""
+        regs = np.asarray(regs)
+        if regs.shape != (WarpRegisterFile.WARP,):
+            raise SimulationError(f"A fragment registers must be (32,), got {regs.shape}")
+        out = np.empty((FRAG_M, FRAG_K), dtype=regs.dtype)
+        t = np.arange(WarpRegisterFile.WARP)
+        out[t // 4, t % 4] = regs
+        return out
+
+    # -------------------------------------------------------------- swizzle
+
+    @staticmethod
+    def reinterpret_c_as_b_pair(c_regs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """The zero-cost swizzle: C registers become two B fragments.
+
+        No values move; register slot ``r`` of each thread simply *is* that
+        thread's element of B fragment ``r``.
+        """
+        c_regs = np.asarray(c_regs)
+        if c_regs.shape != (WarpRegisterFile.WARP, 2):
+            raise SimulationError(f"C fragment registers must be (32, 2), got {c_regs.shape}")
+        return c_regs[:, 0], c_regs[:, 1]
+
+    @staticmethod
+    def swizzled_operand(c: np.ndarray) -> np.ndarray:
+        """What matrix the reinterpreted registers represent: ``P_sigma @ C.T``.
+
+        Derived purely through the ownership maps; tests assert it equals
+        the closed form.
+        """
+        regs = WarpRegisterFile.load_c(c)
+        b0_regs, b1_regs = WarpRegisterFile.reinterpret_c_as_b_pair(regs)
+        b0 = WarpRegisterFile.store_b(b0_regs)
+        b1 = WarpRegisterFile.store_b(b1_regs)
+        return np.vstack([b0, b1])
+
+
+def _check(m: np.ndarray, shape: tuple[int, int], which: str) -> np.ndarray:
+    m = np.asarray(m)
+    if m.shape != shape:
+        raise SimulationError(f"{which} fragment must be {shape}, got {m.shape}")
+    return m

@@ -1,0 +1,134 @@
+"""Global-memory coalescing analysis (HBM side of the GPU model).
+
+NVIDIA GPUs service a warp's global loads/stores in aligned 128-byte
+transactions.  A warp access is perfectly *coalesced* when the 32 thread
+addresses fall into the minimum possible number of 128-B segments; every
+extra segment is wasted bandwidth.  Nsight Compute's "uncoalesced global
+accesses" metric — the UGA rows of Table 4 — is the fraction of transactions
+in excess of that minimum.
+
+:func:`coalescing_report` consumes raw per-warp byte-address streams that
+the indexing strategies under test (diagonal indexing vs PFA modulo
+reordering) generate, so the Table-4 numbers are *measured from the actual
+access patterns*, not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["TRANSACTION_BYTES", "warp_transactions", "CoalescingReport", "coalescing_report"]
+
+#: Size of one global-memory transaction.
+TRANSACTION_BYTES = 128
+
+
+def warp_transactions(addresses: np.ndarray, access_bytes: int = 8) -> tuple[int, int]:
+    """Transactions needed (and the coalesced minimum) for one warp access.
+
+    Parameters
+    ----------
+    addresses:
+        Byte addresses, one per active thread (<= 32 entries).
+    access_bytes:
+        Bytes accessed per thread (8 for FP64).
+
+    Returns
+    -------
+    (actual, ideal):
+        ``actual`` — distinct 128-B segments touched;
+        ``ideal`` — minimum segments for this many bytes.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0 or addresses.size > 32:
+        raise SimulationError(
+            f"a warp access needs 1..32 addresses, got {addresses.size}"
+        )
+    if (addresses < 0).any():
+        raise SimulationError("negative byte address in warp access")
+    # Every byte the access touches, segment-granular.
+    first = addresses // TRANSACTION_BYTES
+    last = (addresses + access_bytes - 1) // TRANSACTION_BYTES
+    touched: set[int] = set()
+    for f, l in zip(first, last):
+        touched.update(range(int(f), int(l) + 1))
+    actual = len(touched)
+    total_bytes = int(addresses.size * access_bytes)
+    ideal = -(-total_bytes // TRANSACTION_BYTES)
+    return actual, ideal
+
+
+@dataclass
+class CoalescingReport:
+    """Aggregated coalescing statistics over many warp accesses."""
+
+    warp_accesses: int = 0
+    transactions: int = 0
+    ideal_transactions: int = 0
+
+    @property
+    def excess_transactions(self) -> int:
+        return self.transactions - self.ideal_transactions
+
+    @property
+    def uncoalesced_fraction(self) -> float:
+        """The UGA metric of Table 4: excess transactions / total transactions."""
+        if self.transactions == 0:
+            return 0.0
+        return self.excess_transactions / self.transactions
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.transactions * TRANSACTION_BYTES
+
+    def add(self, addresses: np.ndarray, access_bytes: int = 8) -> None:
+        actual, ideal = warp_transactions(addresses, access_bytes)
+        self.warp_accesses += 1
+        self.transactions += actual
+        self.ideal_transactions += ideal
+
+    def merge(self, other: "CoalescingReport") -> "CoalescingReport":
+        return CoalescingReport(
+            self.warp_accesses + other.warp_accesses,
+            self.transactions + other.transactions,
+            self.ideal_transactions + other.ideal_transactions,
+        )
+
+
+def coalescing_report(
+    warp_address_streams: Iterable[Sequence[int] | np.ndarray],
+    access_bytes: int = 8,
+) -> CoalescingReport:
+    """Analyze a whole stream of warp accesses.
+
+    Each element of ``warp_address_streams`` is the 32 (or fewer, for
+    predicated-off lanes) byte addresses of one warp-wide access.
+    """
+    rep = CoalescingReport()
+    for addrs in warp_address_streams:
+        rep.add(np.asarray(addrs), access_bytes)
+    return rep
+
+
+def element_stream_to_warps(
+    element_indices: np.ndarray,
+    element_bytes: int = 8,
+    base_address: int = 0,
+    warp_size: int = 32,
+) -> list[np.ndarray]:
+    """Chop a flat per-thread element-index stream into warp-sized address groups.
+
+    Models a 1-D thread block walking an index array: thread ``t`` of warp
+    ``w`` accesses element ``element_indices[w*32 + t]``.
+    """
+    element_indices = np.asarray(element_indices, dtype=np.int64)
+    out = []
+    for start in range(0, element_indices.size, warp_size):
+        chunk = element_indices[start : start + warp_size]
+        out.append(base_address + chunk * element_bytes)
+    return out

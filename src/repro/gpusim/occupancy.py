@@ -1,0 +1,96 @@
+"""SM occupancy calculator — the lever Squeezing Registers (§3.3) pulls.
+
+A thread block becomes resident on an SM only if the SM can satisfy its
+register, shared-memory, thread-slot, and block-slot demands simultaneously;
+the binding constraint determines how many blocks (hence warps) co-reside.
+Squeezing Registers halves per-thread register usage, which — when registers
+are the limiter, as profiling showed for FlashFFTStencil — doubles resident
+warps and with them the latency-hiding overlap of the pipeline model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SimulationError
+from .spec import GPUSpec
+
+__all__ = ["OccupancyReport", "occupancy"]
+
+#: Register file allocation granularity (registers round up per warp).
+_REG_ALLOC_UNIT = 256
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Residency outcome for one kernel configuration on one GPU."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    limited_by: str
+    occupancy: float            # warps resident / max warps
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.blocks_per_sm} blocks/SM, {self.warps_per_sm} warps/SM "
+            f"({self.occupancy:.0%}), limited by {self.limited_by}"
+        )
+
+
+def occupancy(
+    spec: GPUSpec,
+    threads_per_block: int,
+    registers_per_thread: int,
+    smem_per_block_bytes: int,
+) -> OccupancyReport:
+    """Resident blocks/warps per SM under all four hardware limits."""
+    if threads_per_block < 1 or threads_per_block % spec.warp_size != 0:
+        raise SimulationError(
+            f"threads/block must be a positive multiple of {spec.warp_size}, "
+            f"got {threads_per_block}"
+        )
+    if registers_per_thread < 1:
+        raise SimulationError("registers/thread must be >= 1")
+    if smem_per_block_bytes < 0:
+        raise SimulationError("smem/block must be >= 0")
+    if registers_per_thread * threads_per_block > spec.registers_per_sm:
+        raise SimulationError(
+            f"one block needs {registers_per_thread * threads_per_block} "
+            f"registers, SM has {spec.registers_per_sm}"
+        )
+    if smem_per_block_bytes > spec.smem_per_sm_bytes:
+        raise SimulationError(
+            f"one block needs {smem_per_block_bytes} B of SMEM, SM has "
+            f"{spec.smem_per_sm_bytes}"
+        )
+
+    warps_per_block = threads_per_block // spec.warp_size
+    regs_per_warp = -(
+        -(registers_per_thread * spec.warp_size) // _REG_ALLOC_UNIT
+    ) * _REG_ALLOC_UNIT
+    regs_per_block = regs_per_warp * warps_per_block
+
+    limits = {
+        "registers": spec.registers_per_sm // regs_per_block,
+        "shared memory": (
+            spec.smem_per_sm_bytes // smem_per_block_bytes
+            if smem_per_block_bytes > 0
+            else spec.max_blocks_per_sm
+        ),
+        "thread slots": spec.max_threads_per_sm // threads_per_block,
+        "block slots": spec.max_blocks_per_sm,
+    }
+    limiter = min(limits, key=lambda k: limits[k])
+    blocks = limits[limiter]
+    if blocks < 1:
+        raise SimulationError(
+            f"kernel cannot become resident: limited by {limiter}"
+        )
+    warps = blocks * warps_per_block
+    max_warps = spec.max_threads_per_sm // spec.warp_size
+    return OccupancyReport(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        limited_by=limiter,
+        occupancy=min(1.0, warps / max_warps),
+    )

@@ -1,0 +1,109 @@
+"""TCU instruction-pipeline model — the PU rows of Table 4.
+
+A warp executing Algorithm 1 issues a *dependent* chain: fragment loads,
+MMA instructions, element-wise multiplies, and (without Swizzling Fragments)
+shared-memory round trips between consecutive matrix products.  Because the
+chain is dependent, every non-MMA cycle is a bubble in the tensor-core
+pipeline; Nsight's "pipe utilization" is the fraction of cycles the MMA pipe
+is busy.
+
+The model is a deterministic in-order timeline with the latency table of
+Table 1 (290 / 22 / 1 cycles for global / shared / register access); warps
+resident on the same SM overlap each other's bubbles, which the
+``overlap(active_warps)`` factor credits — that is how Squeezing Registers
+(more resident warps) translates into throughput in the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["OpKind", "PipelineTrace", "DEFAULT_CYCLES"]
+
+#: Issue/latency cost in cycles for each modelled operation kind.
+DEFAULT_CYCLES: dict[str, int] = {
+    "mma": 16,          # one m8n8k4 FP64 MMA (dependent-issue latency)
+    "smem_ld": 22,      # Table 1 shared-memory access
+    "smem_st": 22,
+    "sync": 8,          # __syncwarp / barrier amortised
+    "ewise": 4,         # CUDA-core FP64 FMA on a register operand
+    "reg_move": 1,      # Table 1 register access (swizzle reinterpretation)
+    "global_ld": 290,   # Table 1 global access
+    "global_st": 290,
+}
+
+OpKind = str
+
+
+@dataclass
+class PipelineTrace:
+    """An in-order instruction timeline for one warp."""
+
+    cycles: dict[str, int] = field(default_factory=dict)
+    counts: dict[str, int] = field(default_factory=dict)
+
+    def emit(self, kind: OpKind, n: int = 1, cycles_each: int | None = None) -> None:
+        """Append ``n`` operations of ``kind`` to the timeline."""
+        if kind not in DEFAULT_CYCLES and cycles_each is None:
+            raise SimulationError(f"unknown op kind {kind!r} and no cycle cost given")
+        if n < 0:
+            raise SimulationError(f"op count must be >= 0, got {n}")
+        c = DEFAULT_CYCLES[kind] if cycles_each is None else cycles_each
+        self.cycles[kind] = self.cycles.get(kind, 0) + n * c
+        self.counts[kind] = self.counts.get(kind, 0) + n
+
+    # --------------------------------------------------------------- metrics
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(self.cycles.values())
+
+    @property
+    def mma_cycles(self) -> int:
+        return self.cycles.get("mma", 0)
+
+    @property
+    def tcu_utilization(self) -> float:
+        """Busy fraction of the tensor-core pipe (the PU metric of Table 4).
+
+        Memory-system stalls (global/shared traffic) overlap with other
+        resident warps in steady state, so they contribute *bubbles* only to
+        the extent a single warp sees them; the deterministic single-warp
+        ratio is what Nsight's per-kernel pipe utilization approximates for
+        a dependence-bound kernel.
+        """
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.mma_cycles / total
+
+    def merge(self, other: "PipelineTrace") -> "PipelineTrace":
+        out = PipelineTrace(dict(self.cycles), dict(self.counts))
+        for k, v in other.cycles.items():
+            out.cycles[k] = out.cycles.get(k, 0) + v
+        for k, v in other.counts.items():
+            out.counts[k] = out.counts.get(k, 0) + v
+        return out
+
+    def bubble_breakdown(self) -> dict[str, float]:
+        """Fraction of total cycles spent per non-MMA op kind."""
+        total = self.total_cycles
+        if total == 0:
+            return {}
+        return {
+            k: v / total for k, v in sorted(self.cycles.items()) if k != "mma"
+        }
+
+
+def overlap_throughput_factor(active_warps: int, warps_for_full_overlap: int = 8) -> float:
+    """Fraction of single-warp stall cycles hidden by co-resident warps.
+
+    With one resident warp nothing is hidden (factor 0); with
+    ``warps_for_full_overlap`` or more, stalls are fully overlapped
+    (factor -> 1).  Linear in between — the standard occupancy heuristic.
+    """
+    if active_warps < 1:
+        raise SimulationError(f"need >= 1 active warp, got {active_warps}")
+    return min(1.0, (active_warps - 1) / max(1, warps_for_full_overlap - 1))

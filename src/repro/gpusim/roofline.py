@@ -1,0 +1,124 @@
+"""Roofline cost model: from (flops, bytes) to predicted execution time.
+
+This is the analytic layer that scales the trace-level measurements up to
+the paper's problem sizes (512M-point grids, 1000 steps) where cycle-level
+simulation is infeasible.  A kernel is characterised by:
+
+* ``flops`` — FP64 operations it executes (zeros included),
+* ``bytes`` — HBM traffic it moves,
+* ``compute_efficiency`` — achieved fraction of peak (the pipeline
+  utilization measured by :mod:`repro.gpusim.pipeline`),
+* ``memory_efficiency`` — achieved fraction of peak bandwidth (reduced by
+  the uncoalesced-access fraction measured by :mod:`repro.gpusim.memory`),
+* ``launches`` — kernel launches (the term Kernel Tailoring's fusion
+  removes by merging three kernels into one).
+
+Predicted time is the standard bound-and-bottleneck form
+
+    t = max(bytes / (BW * mem_eff), flops / (peak * comp_eff))
+        + launches * launch_overhead,
+
+which is what "bound shifting" manipulates: FFT-bridging converts byte terms
+into flop terms, and the method wins when its flop term sits below the
+memory bound it escaped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+from .spec import GPUSpec
+
+__all__ = ["KernelCost", "execution_time", "arithmetic_intensity", "attainable_gflops"]
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Resource totals for one kernel (or one fused kernel sequence)."""
+
+    flops: float
+    bytes: float
+    launches: int = 1
+    use_tensor_cores: bool = True
+    compute_efficiency: float = 1.0
+    memory_efficiency: float = 1.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes < 0:
+            raise SimulationError("flops and bytes must be non-negative")
+        if self.launches < 0:
+            raise SimulationError("launches must be non-negative")
+        if not (0.0 < self.compute_efficiency <= 1.0):
+            raise SimulationError(
+                f"compute efficiency must be in (0, 1], got {self.compute_efficiency}"
+            )
+        if not (0.0 < self.memory_efficiency <= 1.0):
+            raise SimulationError(
+                f"memory efficiency must be in (0, 1], got {self.memory_efficiency}"
+            )
+
+    def scaled(self, factor: float) -> "KernelCost":
+        """Cost of repeating this kernel ``factor`` times."""
+        return replace(
+            self,
+            flops=self.flops * factor,
+            bytes=self.bytes * factor,
+            launches=int(round(self.launches * factor)),
+        )
+
+    def merge(self, other: "KernelCost") -> "KernelCost":
+        """Sequential composition (efficiencies combine traffic-weighted)."""
+        tot_bytes = self.bytes + other.bytes
+        tot_flops = self.flops + other.flops
+        mem_eff = (
+            tot_bytes
+            / (
+                self.bytes / self.memory_efficiency
+                + other.bytes / other.memory_efficiency
+            )
+            if tot_bytes > 0
+            else 1.0
+        )
+        comp_eff = (
+            tot_flops
+            / (
+                self.flops / self.compute_efficiency
+                + other.flops / other.compute_efficiency
+            )
+            if tot_flops > 0
+            else 1.0
+        )
+        return KernelCost(
+            flops=tot_flops,
+            bytes=tot_bytes,
+            launches=self.launches + other.launches,
+            use_tensor_cores=self.use_tensor_cores or other.use_tensor_cores,
+            compute_efficiency=comp_eff,
+            memory_efficiency=mem_eff,
+            label=self.label or other.label,
+        )
+
+
+def arithmetic_intensity(cost: KernelCost) -> float:
+    """FLOP per HBM byte — the x-axis of Figure 10."""
+    if cost.bytes == 0:
+        raise SimulationError("arithmetic intensity undefined for zero bytes")
+    return cost.flops / cost.bytes
+
+
+def execution_time(cost: KernelCost, spec: GPUSpec) -> float:
+    """Predicted wall-clock seconds for ``cost`` on ``spec``."""
+    peak = spec.peak_tc_flops if cost.use_tensor_cores else spec.peak_cuda_flops
+    t_mem = cost.bytes / (spec.bandwidth_bytes * cost.memory_efficiency)
+    t_comp = cost.flops / (peak * cost.compute_efficiency)
+    return max(t_mem, t_comp) + cost.launches * spec.kernel_launch_overhead_s
+
+
+def attainable_gflops(ai: float, spec: GPUSpec, tensor_cores: bool = True) -> float:
+    """The roofline itself: attainable GFLOP/s at arithmetic intensity ``ai``."""
+    if ai <= 0:
+        raise SimulationError(f"arithmetic intensity must be positive, got {ai}")
+    peak = spec.peak_tc_flops if tensor_cores else spec.peak_cuda_flops
+    return min(peak, ai * spec.bandwidth_bytes) / 1e9

@@ -1,0 +1,89 @@
+"""Shared-memory bank-conflict model (SMEM side of the GPU model).
+
+Shared memory on Ampere/Hopper is organised as 32 banks.  Within one warp
+access, threads hitting the *same bank* at *different addresses* serialise;
+Nsight Compute reports this as "shared store bank conflicts per request" —
+the BC/R rows of Table 4.
+
+We model the FP64-friendly 8-byte bank mode: bank = (byte_address / 8) mod 32.
+Threads reading the *same address* broadcast and do not conflict.
+
+The observation underlying Diagonal Data Indexing (§3.2.2, Observation 1) is
+directly visible here: efficiency depends only on the bank residues of a
+warp's addresses, not on their contiguity, so a diagonal stride of
+``N2 + 1`` words (odd whenever ``N2`` is even) spreads 32 consecutive
+threads across 32 distinct banks even though the addresses are not
+consecutive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import SimulationError
+
+__all__ = ["NUM_BANKS", "BANK_WORD_BYTES", "bank_conflicts", "BankConflictReport", "bank_report"]
+
+#: Number of SMEM banks on Ampere/Hopper.
+NUM_BANKS = 32
+#: Bank word width used for FP64 traffic (8-byte bank mode).
+BANK_WORD_BYTES = 8
+
+
+def bank_conflicts(addresses: np.ndarray, word_bytes: int = BANK_WORD_BYTES) -> int:
+    """Extra serialised cycles for one warp SMEM access.
+
+    Returns ``(max multiplicity over banks) - 1`` where same-address lanes
+    are merged first (broadcast).  0 means conflict-free.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.size == 0 or addresses.size > 32:
+        raise SimulationError(
+            f"a warp access needs 1..32 addresses, got {addresses.size}"
+        )
+    if (addresses < 0).any():
+        raise SimulationError("negative SMEM address")
+    unique = np.unique(addresses)  # broadcast merging
+    banks = (unique // word_bytes) % NUM_BANKS
+    if banks.size == 0:
+        return 0
+    counts = np.bincount(banks, minlength=NUM_BANKS)
+    return int(counts.max()) - 1
+
+
+@dataclass
+class BankConflictReport:
+    """Aggregated bank-conflict statistics over many warp requests."""
+
+    requests: int = 0
+    conflicts: int = 0
+
+    @property
+    def conflicts_per_request(self) -> float:
+        """The BC/R metric of Table 4."""
+        if self.requests == 0:
+            return 0.0
+        return self.conflicts / self.requests
+
+    def add(self, addresses: np.ndarray, word_bytes: int = BANK_WORD_BYTES) -> None:
+        self.conflicts += bank_conflicts(addresses, word_bytes)
+        self.requests += 1
+
+    def merge(self, other: "BankConflictReport") -> "BankConflictReport":
+        return BankConflictReport(
+            self.requests + other.requests, self.conflicts + other.conflicts
+        )
+
+
+def bank_report(
+    warp_address_streams: Iterable[Sequence[int] | np.ndarray],
+    word_bytes: int = BANK_WORD_BYTES,
+) -> BankConflictReport:
+    """Analyze a stream of warp SMEM requests (byte addresses per warp)."""
+    rep = BankConflictReport()
+    for addrs in warp_address_streams:
+        rep.add(np.asarray(addrs), word_bytes)
+    return rep

@@ -1,0 +1,148 @@
+"""GPU hardware specifications (Tables 1 and 2 of the paper).
+
+A :class:`GPUSpec` bundles everything the performance model needs: peak
+FP64 throughput on CUDA cores and Tensor Cores, HBM bandwidth, the on-chip
+memory capacities/latencies of Table 1, and the FP64 WMMA fragment shape
+(m, n, k) = (8, 8, 4) that shapes all Tensor-Core tiling.
+
+The derived ``ridge_point`` — peak TC flops over bandwidth — reproduces the
+paper's §1 threshold: "an arithmetic intensity of at least 10.1 is required
+to fully activate the capabilities of TCUs" on the A100
+(19.5 TFLOPS / 1935 GB/s = 10.08 FLOP/byte).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "A100", "H100", "B100_PROJECTION", "FRAGMENT_SHAPE", "gpu_by_name"]
+
+#: FP64 WMMA fragment shape (m, n, k) supported by Ampere/Hopper tensor cores.
+FRAGMENT_SHAPE: tuple[int, int, int] = (8, 8, 4)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One hardware platform of Table 2, plus the Table-1 memory hierarchy."""
+
+    name: str
+    fp64_tflops: float            # CUDA-core FP64 peak
+    fp64_tc_tflops: float         # Tensor-Core FP64 peak
+    hbm_bandwidth_gbs: float      # HBM bandwidth, GB/s
+    hbm_bytes: int                # global memory capacity
+    num_sms: int
+    smem_per_sm_bytes: int        # max shared memory per SM
+    registers_per_sm: int         # 32-bit registers per SM
+    max_threads_per_sm: int = 2048
+    max_blocks_per_sm: int = 32
+    warp_size: int = 32
+    clock_ghz: float = 1.41
+    # Table 1 access latencies (cycles)
+    global_latency_cycles: int = 290
+    smem_latency_cycles: int = 22
+    register_latency_cycles: int = 1
+    kernel_launch_overhead_s: float = 4e-6
+    fragment_shape: tuple[int, int, int] = FRAGMENT_SHAPE
+
+    def __post_init__(self) -> None:
+        if self.fp64_tflops <= 0 or self.fp64_tc_tflops <= 0:
+            raise ValueError(f"{self.name}: peak throughputs must be positive")
+        if self.hbm_bandwidth_gbs <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+
+    # ------------------------------------------------------------- derived
+
+    @property
+    def peak_tc_flops(self) -> float:
+        return self.fp64_tc_tflops * 1e12
+
+    @property
+    def peak_cuda_flops(self) -> float:
+        return self.fp64_tflops * 1e12
+
+    @property
+    def bandwidth_bytes(self) -> float:
+        return self.hbm_bandwidth_gbs * 1e9
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity (FLOP/byte) where TCUs stop starving on HBM."""
+        return self.peak_tc_flops / self.bandwidth_bytes
+
+    @property
+    def ridge_point_cuda(self) -> float:
+        return self.peak_cuda_flops / self.bandwidth_bytes
+
+    def memory_hierarchy_rows(self) -> list[tuple[str, str, int]]:
+        """The three rows of Table 1 for this GPU."""
+        return [
+            (
+                "Global Memory",
+                f"{self.hbm_bytes // 2**30} GiB / GPU",
+                self.global_latency_cycles,
+            ),
+            (
+                "Max Shared Memory",
+                f"{self.smem_per_sm_bytes // 2**10} KiB / SM",
+                self.smem_latency_cycles,
+            ),
+            (
+                "Max 32-bit Registers",
+                f"{self.registers_per_sm // 2**10} Ki / SM",
+                self.register_latency_cycles,
+            ),
+        ]
+
+
+#: NVIDIA A100 PCIe 80GB — platform B of Table 2.
+A100 = GPUSpec(
+    name="NVIDIA A100 PCIe 80GB",
+    fp64_tflops=9.7,
+    fp64_tc_tflops=19.5,
+    hbm_bandwidth_gbs=1935.0,
+    hbm_bytes=80 * 2**30,
+    num_sms=108,
+    smem_per_sm_bytes=164 * 2**10,
+    registers_per_sm=64 * 2**10,
+    clock_ghz=1.41,
+)
+
+#: NVIDIA H100 SXM 80GB — platform A of Table 2.
+H100 = GPUSpec(
+    name="NVIDIA H100 SXM 80GB",
+    fp64_tflops=34.0,
+    fp64_tc_tflops=67.0,
+    hbm_bandwidth_gbs=3350.0,
+    hbm_bytes=80 * 2**30,
+    num_sms=132,
+    smem_per_sm_bytes=228 * 2**10,
+    registers_per_sm=64 * 2**10,
+    clock_ghz=1.98,
+)
+
+#: Speculative Blackwell-class projection used only for the §5.4 discussion
+#: ("future GPUs with superior peak computational capabilities ... will yield
+#: even greater performance gains").  Not a measured device: it encodes the
+#: paper's premise — compute peak growing faster than bandwidth (ridge point
+#: above H100's) — which is what makes bound-shifted methods pull ahead.
+B100_PROJECTION = GPUSpec(
+    name="B100 (projection)",
+    fp64_tflops=60.0,
+    fp64_tc_tflops=180.0,
+    hbm_bandwidth_gbs=5600.0,
+    hbm_bytes=192 * 2**30,
+    num_sms=160,
+    smem_per_sm_bytes=232 * 2**10,
+    registers_per_sm=64 * 2**10,
+    clock_ghz=2.1,
+)
+
+_BY_NAME = {"a100": A100, "h100": H100, "b100": B100_PROJECTION}
+
+
+def gpu_by_name(name: str) -> GPUSpec:
+    """Look up a platform by short name ('A100', 'H100', 'B100')."""
+    key = name.strip().lower()
+    if key not in _BY_NAME:
+        raise KeyError(f"unknown GPU {name!r}; available: {sorted(_BY_NAME)}")
+    return _BY_NAME[key]

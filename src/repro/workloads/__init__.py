@@ -1,0 +1,15 @@
+"""Benchmark workloads (Table 3) and initial-condition generators."""
+
+from .configs import TABLE3_SUITE, Workload, workload_by_name
+from .generators import checkerboard, gaussian_bump, hot_spots, plane_wave, random_field
+
+__all__ = [
+    "TABLE3_SUITE",
+    "Workload",
+    "checkerboard",
+    "gaussian_bump",
+    "hot_spots",
+    "plane_wave",
+    "random_field",
+    "workload_by_name",
+]

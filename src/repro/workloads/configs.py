@@ -1,0 +1,72 @@
+"""Benchmark workload configurations — Table 3 of the paper.
+
+Each :class:`Workload` pairs a Table-3 row (kernel, problem size, time
+steps) with a reduced *validation* size at which the numerics can actually
+be executed and cross-checked in NumPy.  Experiments run the perf model at
+``problem_shape`` and the correctness checks at ``validation_shape``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.kernels import StencilKernel, kernel_by_name
+from ..errors import PlanError
+
+__all__ = ["Workload", "TABLE3_SUITE", "workload_by_name"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One row of Table 3."""
+
+    name: str
+    kernel_name: str
+    problem_shape: tuple[int, ...]
+    time_steps: int
+    validation_shape: tuple[int, ...]
+
+    @property
+    def kernel(self) -> StencilKernel:
+        return kernel_by_name(self.kernel_name)
+
+    @property
+    def points(self) -> int:
+        return int(np.prod(self.problem_shape))
+
+    @property
+    def kernel_points(self) -> int:
+        return self.kernel.points
+
+    def problem_size_label(self) -> str:
+        """The Table-3 "Problem Size" cell, e.g. ``512M`` or ``16K x 16K``."""
+        if len(self.problem_shape) == 1:
+            return f"{self.problem_shape[0] // 2**20}M"
+        def fmt(x: int) -> str:
+            return f"{x // 1024}K" if x % 1024 == 0 and x >= 1024 else str(x)
+        return " x ".join(fmt(s) for s in self.problem_shape)
+
+
+#: The seven rows of Table 3.
+TABLE3_SUITE: tuple[Workload, ...] = (
+    Workload("Heat-1D", "heat-1d", (512 * 2**20,), 1000, (8192,)),
+    Workload("1D5P", "1d5p", (512 * 2**20,), 1000, (8192,)),
+    Workload("1D7P", "1d7p", (512 * 2**20,), 1000, (8192,)),
+    Workload("Heat-2D", "heat-2d", (16 * 1024, 16 * 1024), 1000, (128, 128)),
+    Workload("Box-2D9P", "box-2d9p", (16 * 1024, 16 * 1024), 1000, (128, 128)),
+    Workload("Heat-3D", "heat-3d", (768, 768, 768), 1000, (48, 48, 48)),
+    Workload("Box-3D27P", "box-3d27p", (768, 768, 768), 1000, (48, 48, 48)),
+)
+
+
+def workload_by_name(name: str) -> Workload:
+    """Look up a Table-3 workload (case-insensitive)."""
+    key = name.strip().lower()
+    for w in TABLE3_SUITE:
+        if w.name.lower() == key or w.kernel_name == key:
+            return w
+    raise PlanError(
+        f"unknown workload {name!r}; available: {[w.name for w in TABLE3_SUITE]}"
+    )

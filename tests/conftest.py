@@ -1,0 +1,35 @@
+"""Shared fixtures for the FlashFFTStencil reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0xF1A5)
+
+
+ALL_KERNELS = list(kz.KERNEL_ZOO.values())
+KERNELS_1D = [k for k in ALL_KERNELS if k.ndim == 1]
+KERNELS_2D = [k for k in ALL_KERNELS if k.ndim == 2]
+KERNELS_3D = [k for k in ALL_KERNELS if k.ndim == 3]
+
+
+def small_grid_for(kernel, rng: np.random.Generator, extent: int = 24) -> np.ndarray:
+    """A random grid comfortably larger than the kernel footprint."""
+    shape = tuple(max(extent, 4 * m) for m in kernel.footprint_lengths)
+    return rng.standard_normal(shape)
+
+
+@pytest.fixture(params=ALL_KERNELS, ids=lambda k: k.name)
+def any_kernel(request):
+    return request.param
+
+
+@pytest.fixture(params=KERNELS_1D, ids=lambda k: k.name)
+def kernel_1d(request):
+    return request.param

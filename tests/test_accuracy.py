@@ -1,0 +1,62 @@
+"""Tests for the fusion-accuracy study (repro.analysis.accuracy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.accuracy import fusion_error_sweep, spectral_radius
+from repro.core import kernels as kz
+from repro.errors import PlanError
+
+
+class TestSpectralRadius:
+    def test_stable_heat_kernel(self):
+        # Convex-combination weights: |H| <= 1 everywhere.
+        assert spectral_radius(kz.heat_1d(0.25), 256) <= 1.0 + 1e-12
+
+    def test_dc_mode_sets_radius_for_conservative_kernels(self):
+        # Weights sum to 1 -> H(0) = 1 is the largest mode.
+        assert spectral_radius(kz.heat_1d(0.1), 128) == pytest.approx(1.0)
+
+    def test_amplifying_kernel_detected(self):
+        k = kz.StencilKernel([-1, 0, 1], [0.5, 1.0, 0.5])  # weight sum 2
+        assert spectral_radius(k, 64) > 1.5
+
+
+class TestFusionErrorSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fusion_error_sweep(
+            kz.heat_1d(0.25), grid_points=2048, depths=(1, 4, 16, 64, 256), total_steps=256
+        )
+
+    def test_all_depths_stay_exact(self, rows):
+        # The §4 claim holds numerically: even 256-step fusion is FP64-exact
+        # for a stable kernel.
+        for r in rows:
+            assert r.max_rel_error < 1e-9, r
+
+    def test_radius_reported(self, rows):
+        assert all(r.spectral_radius == pytest.approx(1.0) for r in rows)
+
+    def test_deep_fusion_not_categorically_worse(self, rows):
+        # Fused error stays within two orders of magnitude of per-step FFT
+        # error (no exponential blow-up with depth).
+        base = max(rows[0].max_rel_error, 1e-15)
+        assert rows[-1].max_rel_error < base * 100
+
+    def test_depth_must_divide(self):
+        with pytest.raises(PlanError):
+            fusion_error_sweep(kz.heat_1d(), depths=(3,), total_steps=256)
+
+    def test_1d_only(self):
+        with pytest.raises(PlanError):
+            fusion_error_sweep(kz.heat_2d())
+
+    def test_higher_order_kernel(self):
+        rows = fusion_error_sweep(
+            kz.star_1d5p(), grid_points=1024, depths=(1, 32), total_steps=64
+        )
+        for r in rows:
+            assert r.max_rel_error < 1e-8

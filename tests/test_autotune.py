@@ -1,0 +1,105 @@
+"""Unit tests for Eq.-(5) segment auto-tuning (repro.core.autotune)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.autotune import FRAGMENT_T, choose_segment_length, choose_tile_shape
+from repro.core.pfa import coprime_splits
+from repro.errors import PlanError
+from repro.gpusim.spec import A100, H100
+
+
+class TestSegmentLength:
+    def test_length_is_eq5_form(self):
+        tuned = choose_segment_length(kz.heat_1d(), steps=6, spec=A100)
+        assert tuned.length == tuned.a * FRAGMENT_T * (FRAGMENT_T - 1)
+        assert tuned.length % 56 == 0
+
+    def test_valid_plus_halo(self):
+        tuned = choose_segment_length(kz.star_1d7p(), steps=4, spec=A100)
+        assert tuned.halo == 12
+        assert tuned.valid == tuned.length - 24
+
+    def test_split_factors_length(self):
+        tuned = choose_segment_length(kz.heat_1d(), steps=1, spec=A100)
+        n1, n2 = tuned.pfa_split
+        assert n1 * n2 == tuned.length
+        assert (n1, n2) in coprime_splits(tuned.length) or (n2, n1) in coprime_splits(tuned.length)
+
+    def test_fits_smem_budget(self):
+        p = 2
+        tuned = choose_segment_length(kz.heat_1d(), steps=2, spec=A100, blocks_per_sm=p)
+        assert tuned.smem_bytes * p <= A100.smem_per_sm_bytes
+
+    def test_larger_smem_allows_longer_segments(self):
+        a = choose_segment_length(kz.heat_1d(), steps=2, spec=A100)
+        h = choose_segment_length(kz.heat_1d(), steps=2, spec=H100)
+        assert h.length >= a.length
+
+    def test_efficiency_reasonable(self):
+        tuned = choose_segment_length(kz.heat_1d(), steps=6, spec=A100)
+        assert tuned.efficiency > 0.9  # halo overhead is small at Eq.(5) scale
+
+    def test_deep_fusion_still_tunable(self):
+        tuned = choose_segment_length(kz.heat_1d(), steps=50, spec=A100)
+        assert tuned.valid >= 1
+        assert tuned.halo == 50
+
+    def test_rejects_multidim(self):
+        with pytest.raises(PlanError):
+            choose_segment_length(kz.heat_2d(), 1, A100)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(PlanError):
+            choose_segment_length(kz.heat_1d(), 0, A100)
+
+    def test_rejects_bad_blocks(self):
+        with pytest.raises(PlanError):
+            choose_segment_length(kz.heat_1d(), 1, A100, blocks_per_sm=0)
+
+    def test_infeasible_halo(self):
+        # A halo so wide no Eq.(5) candidate fits SMEM must raise clearly.
+        with pytest.raises(PlanError):
+            choose_segment_length(kz.star_1d7p(), steps=10_000, spec=A100)
+
+
+class TestTileShape:
+    def test_2d_slice_band_fits_budget(self):
+        # Slices stream along axis 0; what must fit is one transformed slice
+        # row (complex, double-buffered) plus the PFA DFT matrices.
+        steps = 2
+        tile = choose_tile_shape(kz.heat_2d(), steps=steps, spec=A100, blocks_per_sm=2)
+        assert len(tile) == 2
+        assert all(t >= FRAGMENT_T for t in tile)
+        from repro.core.pfa import best_coprime_split
+
+        l_last = tile[-1] + 2 * steps
+        n1, n2 = best_coprime_split(l_last)
+        slice_bytes = 2 * l_last * 16 + (n1 * n1 + n2 * n2) * 16
+        assert slice_bytes <= A100.smem_per_sm_bytes // 2
+
+    def test_2d_last_axis_window_is_eq5_pfa_friendly(self):
+        steps = 8
+        tile = choose_tile_shape(kz.heat_2d(), steps=steps, spec=A100, blocks_per_sm=1)
+        l_last = tile[-1] + 2 * steps
+        assert l_last % (FRAGMENT_T * (FRAGMENT_T - 1)) == 0
+        assert coprime_splits(l_last)
+
+    def test_3d_tile(self):
+        tile = choose_tile_shape(kz.box_3d27p(), steps=1, spec=A100)
+        assert len(tile) == 3
+        # accumulation + middle axes stay fragment-aligned
+        assert tile[0] % FRAGMENT_T == 0
+        assert tile[1] % FRAGMENT_T == 0
+        assert coprime_splits(tile[2] + 2)
+
+    def test_rejects_bad_steps(self):
+        with pytest.raises(PlanError):
+            choose_tile_shape(kz.heat_2d(), 0, A100)
+
+    def test_rejects_1d(self):
+        with pytest.raises(PlanError):
+            choose_tile_shape(kz.heat_1d(), 1, A100)

@@ -1,0 +1,144 @@
+"""Contract tests for the baselines' performance models (cost side)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    BrickStencil,
+    ConvStencil,
+    CuDNNStencil,
+    CuFFTStencil,
+    DRStencil,
+    DirectCUDAStencil,
+    FlashFFTMethod,
+    LoRAStencil,
+    TCStencil,
+    default_method_suite,
+    gstencil_per_second,
+    standard_fft_footprint_bytes,
+)
+from repro.core import kernels as kz
+from repro.errors import PlanError
+from repro.gpusim.roofline import arithmetic_intensity, execution_time
+from repro.gpusim.spec import A100, H100
+
+_N = 1 << 24
+_STEPS = 100
+
+
+@pytest.fixture(params=default_method_suite(), ids=lambda m: m.name)
+def method(request):
+    return request.param
+
+
+class TestUniversalCostProperties:
+    def test_positive_resources(self, method):
+        c = method.cost(kz.heat_1d(), _N, _STEPS, H100)
+        assert c.flops > 0 and c.bytes > 0 and c.launches >= 1
+
+    def test_linear_in_steps(self, method):
+        # 96 is a common multiple of every method's fusion depth, so the
+        # ceil(steps/fusion) application count doubles exactly.
+        c1 = method.cost(kz.heat_1d(), _N, 96, H100)
+        c2 = method.cost(kz.heat_1d(), _N, 192, H100)
+        assert c2.bytes == pytest.approx(2 * c1.bytes, rel=0.02)
+
+    def test_monotone_in_problem_size(self, method):
+        small = execution_time(method.cost(kz.heat_1d(), _N, _STEPS, H100), H100)
+        big = execution_time(method.cost(kz.heat_1d(), 4 * _N, _STEPS, H100), H100)
+        assert big > small
+
+    def test_h100_faster_than_a100(self, method):
+        t_h = execution_time(method.cost(kz.heat_1d(), _N, _STEPS, H100), H100)
+        t_a = execution_time(method.cost(kz.heat_1d(), _N, _STEPS, A100), A100)
+        assert t_h < t_a
+
+    def test_validation(self, method):
+        with pytest.raises(PlanError):
+            method.cost(kz.heat_1d(), 0, _STEPS, H100)
+        with pytest.raises(PlanError):
+            method.cost(kz.heat_1d(), _N, 0, H100)
+
+
+class TestMethodSpecifics:
+    def test_cufft_traffic_dominates(self):
+        # The 3-kernel HBM round-trip pipeline: 112 B/point/application.
+        c = CuFFTStencil().cost(kz.heat_1d(), _N, 1, H100)
+        assert c.bytes == pytest.approx(112.0 * _N)
+        assert c.launches == 3
+
+    def test_cufft_fusion_divides_traffic(self):
+        unfused = CuFFTStencil(fused_steps=1).cost(kz.heat_1d(), _N, 100, H100)
+        fused = CuFFTStencil(fused_steps=10).cost(kz.heat_1d(), _N, 100, H100)
+        assert fused.bytes == pytest.approx(unfused.bytes / 10)
+
+    def test_cufft_invalid_fusion(self):
+        with pytest.raises(PlanError):
+            CuFFTStencil(fused_steps=0)
+
+    def test_cudnn_scales_with_taps(self):
+        few = CuDNNStencil().cost(kz.heat_1d(), _N, 1, H100)
+        many = CuDNNStencil().cost(kz.box_3d27p(), _N, 1, H100)
+        assert many.bytes > 5 * few.bytes  # 27 taps vs 3, no channel reuse
+
+    def test_direct_cuda_compulsory_traffic(self):
+        c = DirectCUDAStencil().cost(kz.heat_1d(), _N, 1, H100)
+        assert c.bytes == pytest.approx(16.0 * _N)
+        assert not c.use_tensor_cores
+
+    def test_brick_halo_overhead_grows_with_dim(self):
+        b = BrickStencil()
+        c1 = b.cost(kz.heat_1d(), _N, 1, H100)
+        c3 = b.cost(kz.heat_3d(), _N, 1, H100)
+        assert c3.bytes > c1.bytes  # 4^3 bricks pay more halo than 64-bricks
+
+    def test_drstencil_fuses(self):
+        c = DRStencil().cost(kz.heat_1d(), _N, 100, H100)
+        assert c.launches == 50  # fusion depth 2
+
+    def test_tcu_methods_publish_their_intensity(self):
+        for m, ai in ((TCStencil(), 2.78), (ConvStencil(), 3.59), (LoRAStencil(), 7.41)):
+            c = m.cost(kz.heat_1d(), _N, _STEPS, H100)
+            assert arithmetic_intensity(c) == pytest.approx(ai)
+            assert c.use_tensor_cores
+
+    def test_tcu_methods_below_ridge(self):
+        for m in (TCStencil(), ConvStencil(), LoRAStencil()):
+            c = m.cost(kz.heat_1d(), _N, _STEPS, A100)
+            assert arithmetic_intensity(c) < A100.ridge_point
+
+    def test_lora_paper_adjustment_applied(self):
+        c = LoRAStencil().cost(kz.heat_1d(), _N, _STEPS, H100)
+        raw = LoRAStencil.BYTES_PER_POINT_STEP * _N * _STEPS
+        assert c.bytes == pytest.approx(raw * 2.0)
+
+    def test_lora_rank_of_zoo_kernels(self):
+        lora = LoRAStencil()
+        assert lora.rank(kz.heat_1d()) == 1        # 1-D is trivially rank-1
+        assert 1 <= lora.rank(kz.heat_2d()) <= 3   # star kernel: low rank
+        assert 1 <= lora.rank(kz.box_3d27p()) <= 4
+
+    def test_flash_beats_every_baseline_on_h100_heat1d(self):
+        suite = default_method_suite()
+        flash = suite[-1]
+        t_flash = execution_time(flash.cost(kz.heat_1d(), _N, _STEPS, H100), H100)
+        for m in suite[:-1]:
+            t = execution_time(m.cost(kz.heat_1d(), _N, _STEPS, H100), H100)
+            assert t > t_flash, m.name
+
+
+class TestHelpers:
+    def test_gstencil_metric(self):
+        assert gstencil_per_second(1_000_000_000, 10, 10.0) == pytest.approx(1.0)
+        with pytest.raises(PlanError):
+            gstencil_per_second(10, 10, 0.0)
+
+    def test_footprint_validation(self):
+        with pytest.raises(PlanError):
+            standard_fft_footprint_bytes(0)
+
+    def test_predict_bundles_time_and_throughput(self):
+        r = ConvStencil().predict(kz.heat_1d(), _N, _STEPS, H100)
+        assert r.gstencils == pytest.approx(_N * _STEPS / r.seconds / 1e9)
+        assert r.method == "ConvStencil"

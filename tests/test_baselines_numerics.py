@@ -1,0 +1,74 @@
+"""Correctness tests: every Figure-6 method equals the reference engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BrickStencil,
+    ConvStencil,
+    CuDNNStencil,
+    CuFFTStencil,
+    DRStencil,
+    DirectCUDAStencil,
+    FlashFFTMethod,
+    LoRAStencil,
+    TCStencil,
+    default_method_suite,
+)
+from repro.core import kernels as kz
+from repro.core.reference import run_stencil
+
+METHODS = [
+    DirectCUDAStencil(),
+    CuFFTStencil(fused_steps=4),
+    CuDNNStencil(),
+    BrickStencil(),
+    DRStencil(),
+    TCStencil(),
+    ConvStencil(),
+    LoRAStencil(),
+    FlashFFTMethod(fused_steps=4),
+]
+
+
+def _grid_for(kernel, rng):
+    # Brick-friendly sizes: multiples of the default brick shape.
+    shape = {1: (256,), 2: (32, 32), 3: (16, 16, 16)}[kernel.ndim]
+    return rng.standard_normal(shape)
+
+
+@pytest.mark.parametrize("method", METHODS, ids=lambda m: m.name)
+class TestAllMethodsAllKernels:
+    @pytest.mark.parametrize("steps", [1, 5])
+    def test_periodic(self, method, any_kernel, rng, steps):
+        x = _grid_for(any_kernel, rng)
+        got = method.apply(x, any_kernel, steps, boundary="periodic")
+        want = run_stencil(x, any_kernel, steps, boundary="periodic")
+        np.testing.assert_allclose(got, want, atol=1e-8, err_msg=method.name)
+
+    def test_zero_boundary(self, method, any_kernel, rng):
+        x = _grid_for(any_kernel, rng)
+        got = method.apply(x, any_kernel, 2, boundary="zero")
+        want = run_stencil(x, any_kernel, 2, boundary="zero")
+        np.testing.assert_allclose(got, want, atol=1e-8, err_msg=method.name)
+
+
+class TestSuite:
+    def test_default_suite_composition(self):
+        suite = default_method_suite()
+        names = [m.name for m in suite]
+        assert names[-1] == "FlashFFTStencil"
+        assert len(names) == len(set(names)) == 8
+
+    def test_fusion_caps_match_paper(self):
+        assert ConvStencil.max_fusion == 3
+        assert LoRAStencil.max_fusion == 3
+        assert CuFFTStencil.max_fusion is None
+        assert FlashFFTMethod.max_fusion is None
+
+    def test_tcu_membership(self):
+        suite = default_method_suite()
+        tcu = {m.name for m in suite if m.uses_tensor_cores}
+        assert tcu == {"TCStencil", "ConvStencil", "LoRAStencil", "cuDNN-stencil", "FlashFFTStencil"}

@@ -1,0 +1,79 @@
+"""Unit tests for DFT matrices and swizzle permutations (repro.core.dft)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dft import (
+    apply_row_permutation,
+    dft_matrix,
+    idft_from_dft,
+    idft_matrix,
+    permuted_dft,
+)
+from repro.errors import PFAError
+
+
+class TestDFTMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 7, 8, 16, 56])
+    def test_matches_numpy_fft(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(dft_matrix(n) @ x, np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 5, 12])
+    def test_inverse_matches_numpy_ifft(self, n, rng):
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+        np.testing.assert_allclose(idft_matrix(n) @ x, np.fft.ifft(x), atol=1e-10)
+
+    def test_unitary_up_to_scale(self):
+        f = dft_matrix(12)
+        np.testing.assert_allclose(f @ np.conj(f.T) / 12, np.eye(12), atol=1e-10)
+
+    def test_invalid_size(self):
+        with pytest.raises(PFAError):
+            dft_matrix(0)
+
+
+class TestRegisterSqueezing:
+    """§3.3: the iFFT matrix is recomputed from the FFT matrix."""
+
+    @pytest.mark.parametrize("n", [3, 8, 21])
+    def test_idft_from_dft(self, n):
+        f = dft_matrix(n)
+        np.testing.assert_allclose(idft_from_dft(f), idft_matrix(n), atol=1e-12)
+
+    def test_real_parts_identical_imag_negated(self):
+        # The exact numerical relationship the paper exploits.
+        n = 16
+        f = dft_matrix(n)
+        inv = idft_from_dft(f) * n
+        np.testing.assert_allclose(inv.real, f.real, atol=1e-12)
+        np.testing.assert_allclose(inv.imag, -f.imag, atol=1e-12)
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(PFAError):
+            idft_from_dft(np.ones((3, 4), dtype=complex))
+
+
+class TestSwizzling:
+    """§3.3: column-permuted DFT matrix absorbs the fragment row swizzle."""
+
+    def test_permuted_dft_undoes_row_swizzle(self, rng):
+        n = 8
+        a_logical = rng.standard_normal((n, 5)) + 1j * rng.standard_normal((n, 5))
+        perm = rng.permutation(n)
+        a_swizzled = apply_row_permutation(perm, a_logical)
+        want = dft_matrix(n) @ a_logical
+        got = permuted_dft(n, perm) @ a_swizzled
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_identity_permutation_is_plain_dft(self):
+        n = 6
+        np.testing.assert_array_equal(permuted_dft(n, np.arange(n)), dft_matrix(n))
+
+    def test_bad_permutation_rejected(self):
+        with pytest.raises(PFAError):
+            permuted_dft(4, np.array([0, 1, 1, 3]))
+        with pytest.raises(PFAError):
+            apply_row_permutation(np.array([0, 2]), np.ones((3, 3)))

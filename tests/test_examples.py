@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs cleanly and self-verifies.
+
+Each example asserts its own numerical exactness internally; these tests
+run them as real subprocesses (the way a user would) and check exit codes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+_EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+_ALL = sorted(p.name for p in _EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(_EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+def test_every_example_is_covered():
+    assert set(_ALL) == {
+        "quickstart.py",
+        "heat_diffusion_2d.py",
+        "seismic_smoothing_3d.py",
+        "temporal_fusion_sweep.py",
+        "acoustic_wave_2d.py",
+        "multi_gpu_scaling.py",
+        "gpu_model_tour.py",
+    }
+
+
+@pytest.mark.parametrize("name", _ALL)
+def test_example_runs(name):
+    proc = _run(name)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    assert proc.stdout.strip(), f"{name} produced no output"
+
+
+def test_quickstart_reports_model_numbers():
+    proc = _run("quickstart.py")
+    assert "GStencil/s" in proc.stdout
+    assert "max |err|" in proc.stdout

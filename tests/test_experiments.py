@@ -1,0 +1,107 @@
+"""Smoke/contract tests for the experiment runners (repro.experiments)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig7,
+    fig8,
+    fig10,
+    future_gpus,
+    main,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        for name in ("table1", "table2", "table3", "table4",
+                     "fig6", "fig7", "fig8", "fig9", "fig10", "validate"):
+            assert name in EXPERIMENTS
+
+    def test_cli_rejects_unknown(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_cli_runs_single(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "H100" in out and "3350" in out
+
+
+class TestStaticTables:
+    def test_table1_content(self):
+        out = table1()
+        assert "Global Memory" in out and "290" in out
+        assert "164 KiB / SM" in out and "22" in out
+        assert "64 Ki / SM" in out
+
+    def test_table2_content(self):
+        out = table2()
+        assert "9.7 TFLOPS" in out and "19.5 TFLOPS" in out
+        assert "1935 GB/s" in out and "3350 GB/s" in out
+
+    def test_table3_content(self):
+        out = table3()
+        for cell in ("Heat-1D", "Box-3D27P", "512M", "16K x 16K", "1000"):
+            assert cell in out
+
+
+class TestMeasuredArtifacts:
+    def test_table4_has_measured_and_paper_values(self):
+        out = table4()
+        assert "1D3P" in out and "3D27P" in out
+        assert "(36.1%)" in out  # paper value shown alongside
+        assert "PU-w" in out
+
+    def test_fig7_ladder(self):
+        out = fig7()
+        assert "+ Kernel Tailoring" in out
+        assert "+ Computation Streamlining" in out
+        assert "11.25x" in out  # paper anchor quoted
+
+    def test_fig8_band(self):
+        out = fig8()
+        assert "7-9x" in out
+        assert "box-2d9p" in out
+
+    def test_fig10_rows(self):
+        out = fig10()
+        assert "2.78" in out and "3.59" in out and "7.41" in out
+        assert "FlashFFTStencil" in out
+
+    def test_fig9_series(self):
+        from repro.experiments import fig9
+
+        out = fig9()
+        assert "A100" in out and "H100" in out
+        assert "fused steps" in out and "advantage" in out
+
+    def test_scaling_extension(self):
+        from repro.experiments import scaling
+
+        out = scaling()
+        assert "NVLink4" in out and "speedup" in out
+
+    def test_accuracy_extension(self):
+        from repro.experiments import accuracy
+
+        out = accuracy()
+        assert "256" in out and "spectral radius" in out
+
+    def test_future_projection_monotone(self):
+        out = future_gpus()
+        assert "B100" in out
+        # Extract the per-GPU ConvStencil column and check monotone growth.
+        vals = []
+        for line in out.splitlines():
+            if line.startswith(("NVIDIA", "B100")):
+                cols = [c for c in line.split() if c.endswith("x")]
+                vals.append(float(cols[1].rstrip("x")))
+        assert len(vals) == 3
+        assert vals[0] < vals[1] < vals[2]

@@ -1,0 +1,140 @@
+"""Unit tests for coalescing and bank-conflict models (repro.gpusim)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.gpusim.memory import (
+    CoalescingReport,
+    coalescing_report,
+    element_stream_to_warps,
+    warp_transactions,
+)
+from repro.gpusim.smem import (
+    BankConflictReport,
+    bank_conflicts,
+    bank_report,
+)
+
+
+class TestWarpTransactions:
+    def test_fully_coalesced_fp64(self):
+        addrs = np.arange(32) * 8  # 32 consecutive doubles = 256 B
+        actual, ideal = warp_transactions(addrs)
+        assert actual == ideal == 2
+
+    def test_strided_access_wastes_transactions(self):
+        addrs = np.arange(32) * 8 * 16  # stride 128 B: one line per thread
+        actual, ideal = warp_transactions(addrs)
+        assert actual == 32
+        assert ideal == 2
+
+    def test_unaligned_access_spills_one_line(self):
+        addrs = np.arange(32) * 8 + 64  # 256 B starting mid-line
+        actual, ideal = warp_transactions(addrs)
+        assert actual == 3
+        assert ideal == 2
+
+    def test_same_address_broadcast(self):
+        actual, ideal = warp_transactions(np.zeros(32, dtype=np.int64))
+        assert actual == 1
+        assert ideal == 2  # ideal counts bytes requested, not dedup
+
+    def test_partial_warp(self):
+        actual, ideal = warp_transactions(np.arange(8) * 8)
+        assert actual == 1 and ideal == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            warp_transactions(np.array([], dtype=np.int64))
+
+    def test_oversized_rejected(self):
+        with pytest.raises(SimulationError):
+            warp_transactions(np.arange(33) * 8)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            warp_transactions(np.array([-8, 0]))
+
+
+class TestCoalescingReport:
+    def test_sequential_stream_is_coalesced(self):
+        warps = element_stream_to_warps(np.arange(1024))
+        rep = coalescing_report(warps)
+        assert rep.uncoalesced_fraction == 0.0
+        assert rep.warp_accesses == 32
+
+    def test_scattered_stream_is_uncoalesced(self, rng):
+        warps = element_stream_to_warps(rng.permutation(1024))
+        rep = coalescing_report(warps)
+        assert rep.uncoalesced_fraction > 0.5
+
+    def test_merge(self):
+        a = coalescing_report(element_stream_to_warps(np.arange(64)))
+        b = coalescing_report(element_stream_to_warps(np.arange(64) * 16))
+        m = a.merge(b)
+        assert m.transactions == a.transactions + b.transactions
+        assert m.warp_accesses == 4
+
+    def test_bytes_moved(self):
+        rep = coalescing_report(element_stream_to_warps(np.arange(32)))
+        assert rep.bytes_moved == 2 * 128
+
+    def test_empty_report(self):
+        assert CoalescingReport().uncoalesced_fraction == 0.0
+
+    @given(stride=st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_stride_monotonicity(self, stride):
+        # Wider strides can never *reduce* transactions per warp.
+        unit = coalescing_report(element_stream_to_warps(np.arange(32)))
+        strided = coalescing_report(element_stream_to_warps(np.arange(32) * stride))
+        assert strided.transactions >= unit.transactions
+
+
+class TestBankConflicts:
+    def test_consecutive_doubles_conflict_free(self):
+        addrs = np.arange(32) * 8
+        assert bank_conflicts(addrs) == 0
+
+    def test_same_bank_stride_is_fully_serialised(self):
+        addrs = np.arange(32) * 8 * 32  # all lanes hit bank 0
+        assert bank_conflicts(addrs) == 31
+
+    def test_stride_two_words_two_way_conflict(self):
+        addrs = np.arange(32) * 16  # even banks only, 2 lanes per bank
+        assert bank_conflicts(addrs) == 1
+
+    def test_broadcast_is_free(self):
+        assert bank_conflicts(np.zeros(32, dtype=np.int64)) == 0
+
+    def test_diagonal_stride_is_conflict_free(self):
+        # The §3.2.2 argument: odd word-stride covers all 32 banks.
+        for n2 in (8, 56, 64):  # even N2 -> stride N2+1 odd
+            addrs = (np.arange(32) * (n2 + 1)) * 8
+            assert bank_conflicts(addrs) == 0, f"stride {n2 + 1}"
+
+    def test_gcd_rule(self):
+        # s-word stride serialises into gcd(s, 32)-way conflicts.
+        for stride, way in [(2, 2), (4, 4), (8, 8), (16, 16), (32, 32)]:
+            addrs = np.arange(32) * stride * 8
+            assert bank_conflicts(addrs) == way - 1
+
+    def test_report_aggregation(self):
+        rep = bank_report([np.arange(32) * 8, np.arange(32) * 8 * 32])
+        assert rep.requests == 2
+        assert rep.conflicts == 31
+        assert rep.conflicts_per_request == pytest.approx(15.5)
+
+    def test_empty_report(self):
+        assert BankConflictReport().conflicts_per_request == 0.0
+
+    def test_merge(self):
+        a = bank_report([np.arange(32) * 8])
+        b = bank_report([np.arange(32) * 16])
+        m = a.merge(b)
+        assert m.requests == 2 and m.conflicts == 1

@@ -1,0 +1,59 @@
+"""Unit tests for GPU specs (repro.gpusim.spec) — Tables 1 and 2."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.gpusim.spec import A100, B100_PROJECTION, H100, GPUSpec, gpu_by_name
+
+
+class TestTable2:
+    def test_h100_row(self):
+        assert H100.fp64_tflops == 34.0
+        assert H100.fp64_tc_tflops == 67.0
+        assert H100.hbm_bandwidth_gbs == 3350.0
+
+    def test_a100_row(self):
+        assert A100.fp64_tflops == 9.7
+        assert A100.fp64_tc_tflops == 19.5
+        assert A100.hbm_bandwidth_gbs == 1935.0
+
+
+class TestTable1:
+    def test_a100_memory_hierarchy(self):
+        rows = A100.memory_hierarchy_rows()
+        assert rows[0] == ("Global Memory", "80 GiB / GPU", 290)
+        assert rows[1] == ("Max Shared Memory", "164 KiB / SM", 22)
+        assert rows[2] == ("Max 32-bit Registers", "64 Ki / SM", 1)
+
+
+class TestDerived:
+    def test_a100_ridge_point_matches_paper(self):
+        # §1: "an arithmetic intensity of at least 10.1 is required" (A100).
+        assert A100.ridge_point == pytest.approx(10.08, abs=0.05)
+
+    def test_h100_ridge_point(self):
+        assert H100.ridge_point == pytest.approx(20.0, abs=0.1)
+
+    def test_tc_peak_above_cuda_peak(self):
+        for g in (A100, H100, B100_PROJECTION):
+            assert g.peak_tc_flops > g.peak_cuda_flops
+
+    def test_fragment_shape(self):
+        assert A100.fragment_shape == (8, 8, 4)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("name", ["A100", "h100", " B100 "])
+    def test_by_name(self, name):
+        assert isinstance(gpu_by_name(name), GPUSpec)
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            gpu_by_name("MI300")
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(A100, fp64_tflops=0.0)

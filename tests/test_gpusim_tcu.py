@@ -1,0 +1,323 @@
+"""Unit tests for fragments, MMA emulation, pipeline, occupancy, roofline."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dft import dft_matrix, permuted_dft
+from repro.errors import SimulationError
+from repro.gpusim.fragments import (
+    SWIZZLE_SIGMA,
+    WarpRegisterFile,
+    swizzle_permutation,
+)
+from repro.gpusim.occupancy import occupancy
+from repro.gpusim.pipeline import PipelineTrace, overlap_throughput_factor
+from repro.gpusim.roofline import (
+    KernelCost,
+    arithmetic_intensity,
+    attainable_gflops,
+    execution_time,
+)
+from repro.gpusim.spec import A100, H100
+from repro.gpusim.tensorcore import (
+    MMAStats,
+    complex_tc_matmul,
+    fragment_tile_counts,
+    tc_matmul,
+)
+
+
+class TestFragments:
+    def test_a_roundtrip(self, rng):
+        a = rng.standard_normal((8, 4))
+        np.testing.assert_array_equal(
+            WarpRegisterFile.store_a(WarpRegisterFile.load_a(a)), a
+        )
+
+    def test_b_roundtrip(self, rng):
+        b = rng.standard_normal((4, 8))
+        np.testing.assert_array_equal(
+            WarpRegisterFile.store_b(WarpRegisterFile.load_b(b)), b
+        )
+
+    def test_c_roundtrip(self, rng):
+        c = rng.standard_normal((8, 8))
+        np.testing.assert_array_equal(
+            WarpRegisterFile.store_c(WarpRegisterFile.load_c(c)), c
+        )
+
+    def test_mma_on_registers(self, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        c = rng.standard_normal((8, 8))
+        d_regs = WarpRegisterFile.mma(
+            WarpRegisterFile.load_a(a),
+            WarpRegisterFile.load_b(b),
+            WarpRegisterFile.load_c(c),
+        )
+        np.testing.assert_allclose(WarpRegisterFile.store_c(d_regs), a @ b + c)
+
+    def test_shape_checks(self, rng):
+        with pytest.raises(SimulationError):
+            WarpRegisterFile.load_a(rng.standard_normal((4, 8)))
+        with pytest.raises(SimulationError):
+            WarpRegisterFile.store_c(rng.standard_normal((32,)))
+
+
+class TestSwizzling:
+    """The register-level heart of §3.3, Figure 5."""
+
+    def test_swizzled_operand_closed_form(self, rng):
+        # Reinterpreting C registers as two stacked B fragments yields
+        # exactly P_sigma @ C.T.
+        c = rng.standard_normal((8, 8))
+        got = WarpRegisterFile.swizzled_operand(c)
+        want = c.T[list(SWIZZLE_SIGMA)]
+        np.testing.assert_array_equal(got, want)
+
+    def test_permuted_dft_absorbs_swizzle(self, rng):
+        # F[:, sigma] @ swizzled == F @ C.T — no SMEM round trip needed.
+        c = rng.standard_normal((8, 8))
+        swz = WarpRegisterFile.swizzled_operand(c)
+        got = permuted_dft(8, np.asarray(SWIZZLE_SIGMA)) @ swz
+        want = dft_matrix(8) @ c.T
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_swizzle_permutation_extension(self):
+        p = swizzle_permutation(16)
+        assert sorted(p.tolist()) == list(range(16))
+        np.testing.assert_array_equal(p[:8], SWIZZLE_SIGMA)
+        np.testing.assert_array_equal(p[8:], np.asarray(SWIZZLE_SIGMA) + 8)
+
+    def test_swizzle_permutation_requires_multiple_of_8(self):
+        with pytest.raises(SimulationError):
+            swizzle_permutation(12)
+
+    def test_block_swizzle_identity_large(self, rng):
+        # The same absorption works tile-wise for 8k x 8k matrices.
+        n = 24
+        c = rng.standard_normal((n, n))
+        perm = swizzle_permutation(n)
+        swz = c.T[perm]
+        f = rng.standard_normal((n, n))
+        np.testing.assert_allclose(f[:, perm] @ swz, f @ c.T, atol=1e-10)
+
+
+class TestTCMatmul:
+    def test_exactness(self, rng):
+        a = rng.standard_normal((17, 9))
+        b = rng.standard_normal((9, 23))
+        np.testing.assert_allclose(tc_matmul(a, b), a @ b, atol=1e-12)
+
+    def test_accumulate(self, rng):
+        a = rng.standard_normal((8, 4))
+        b = rng.standard_normal((4, 8))
+        c = rng.standard_normal((8, 8))
+        np.testing.assert_allclose(tc_matmul(a, b, accumulate=c), a @ b + c)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(SimulationError):
+            tc_matmul(rng.standard_normal((4, 4)), rng.standard_normal((5, 4)))
+
+    def test_tile_counts(self):
+        assert fragment_tile_counts(8, 4, 8) == (1, 1, 1)
+        assert fragment_tile_counts(9, 5, 9) == (2, 2, 2)
+        assert fragment_tile_counts(64, 64, 63) == (8, 16, 8)
+
+    def test_mma_count_exact_tiling(self):
+        stats = MMAStats()
+        tc_matmul(np.ones((16, 8)), np.ones((8, 16)), stats)
+        assert stats.mma_ops == 2 * 2 * 2
+        assert stats.flops == 8 * 2 * 8 * 8 * 4
+
+    def test_dense_input_zero_sparsity(self, rng):
+        stats = MMAStats()
+        tc_matmul(
+            rng.standard_normal((16, 8)) + 3.0, rng.standard_normal((8, 16)) + 3.0, stats
+        )
+        assert stats.sparsity == 0.0
+
+    def test_padding_creates_sparsity(self):
+        # A 7x7 kernel-shaped operand padded into 8x8 tiles wastes slots.
+        stats = MMAStats()
+        tc_matmul(np.ones((7, 3)), np.ones((3, 7)), stats)
+        assert stats.sparsity > 0.2
+
+    def test_structural_zeros_counted(self):
+        stats = MMAStats()
+        a = np.ones((8, 4))
+        a[:, 2:] = 0.0  # half the operand is zeros
+        tc_matmul(a, np.ones((4, 8)), stats)
+        assert stats.sparsity == pytest.approx(0.25)  # 16 of 64 slots
+
+    def test_useful_flops(self):
+        stats = MMAStats()
+        tc_matmul(np.ones((8, 4)), np.ones((4, 8)), stats)
+        assert stats.useful_flops == stats.flops
+
+    def test_merge(self):
+        s1, s2 = MMAStats(), MMAStats()
+        tc_matmul(np.ones((8, 4)), np.ones((4, 8)), s1)
+        tc_matmul(np.ones((8, 4)), np.ones((4, 8)), s2)
+        m = s1.merge(s2)
+        assert m.mma_ops == 2
+
+    @pytest.mark.parametrize("method,n_products", [("4mult", 4), ("3mult", 3)])
+    def test_complex_decompositions(self, rng, method, n_products):
+        a = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8)) + 1j * rng.standard_normal((8, 8))
+        stats = MMAStats()
+        got = complex_tc_matmul(a, b, stats, method=method)
+        np.testing.assert_allclose(got, a @ b, atol=1e-10)
+        per_product = 1 * 2 * 1  # 8x8 @ 8x8 -> mt*kt*nt = 1*2*1... per 8x8: (1,2,1)
+        assert stats.mma_ops == n_products * 2
+
+    def test_complex_bad_method(self, rng):
+        z = rng.standard_normal((8, 8)).astype(complex)
+        with pytest.raises(SimulationError):
+            complex_tc_matmul(z, z, method="fft")
+
+
+class TestPipeline:
+    def test_swizzle_beats_smem_roundtrip(self):
+        # The Figure-5 effect: replacing SMEM round trips with register
+        # reinterpretation raises TCU pipe utilization.
+        with_rt = PipelineTrace()
+        without_rt = PipelineTrace()
+        for _ in range(8):
+            with_rt.emit("mma", 2)
+            with_rt.emit("smem_st", 2)
+            with_rt.emit("sync")
+            with_rt.emit("smem_ld", 2)
+            without_rt.emit("mma", 2)
+            without_rt.emit("reg_move", 2)
+        assert without_rt.tcu_utilization > with_rt.tcu_utilization
+        assert with_rt.tcu_utilization < 0.6
+        assert without_rt.tcu_utilization > 0.9
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SimulationError):
+            PipelineTrace().emit("teleport")
+
+    def test_custom_cycles(self):
+        t = PipelineTrace()
+        t.emit("custom", 2, cycles_each=10)
+        assert t.total_cycles == 20
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            PipelineTrace().emit("mma", -1)
+
+    def test_empty_utilization(self):
+        assert PipelineTrace().tcu_utilization == 0.0
+
+    def test_merge_and_breakdown(self):
+        a, b = PipelineTrace(), PipelineTrace()
+        a.emit("mma", 4)
+        b.emit("smem_ld", 2)
+        m = a.merge(b)
+        assert m.mma_cycles == 64
+        assert "smem_ld" in m.bubble_breakdown()
+        assert m.tcu_utilization == pytest.approx(64 / (64 + 44))
+
+    def test_overlap_factor(self):
+        assert overlap_throughput_factor(1) == 0.0
+        assert overlap_throughput_factor(8) == 1.0
+        assert overlap_throughput_factor(100) == 1.0
+        assert 0.0 < overlap_throughput_factor(4) < 1.0
+        with pytest.raises(SimulationError):
+            overlap_throughput_factor(0)
+
+
+class TestOccupancy:
+    def test_register_limited(self):
+        rep = occupancy(A100, threads_per_block=256, registers_per_thread=128, smem_per_block_bytes=0)
+        assert rep.limited_by == "registers"
+        assert rep.blocks_per_sm == 2
+
+    def test_squeezing_registers_doubles_warps(self):
+        # §3.3: halving register pressure doubles the number of active threads.
+        before = occupancy(A100, 256, 128, 16 * 2**10)
+        after = occupancy(A100, 256, 64, 16 * 2**10)
+        assert after.warps_per_sm == 2 * before.warps_per_sm
+
+    def test_smem_limited(self):
+        rep = occupancy(A100, 128, 32, 82 * 2**10)
+        assert rep.limited_by == "shared memory"
+        assert rep.blocks_per_sm == 2
+
+    def test_impossible_block_rejected(self):
+        with pytest.raises(SimulationError):
+            occupancy(A100, 1024, 128, 0)  # 128K regs > 64K per SM
+
+    def test_bad_threads(self):
+        with pytest.raises(SimulationError):
+            occupancy(A100, 100, 32, 0)
+
+    def test_occupancy_fraction_bounds(self):
+        rep = occupancy(A100, 256, 32, 2**10)
+        assert 0.0 < rep.occupancy <= 1.0
+
+
+class TestRoofline:
+    def test_memory_bound_kernel(self):
+        cost = KernelCost(flops=1e9, bytes=1e9, launches=0)
+        t = execution_time(cost, A100)
+        assert t == pytest.approx(1e9 / A100.bandwidth_bytes)
+
+    def test_compute_bound_kernel(self):
+        cost = KernelCost(flops=1e13, bytes=1e6, launches=0)
+        t = execution_time(cost, A100)
+        assert t == pytest.approx(1e13 / A100.peak_tc_flops)
+
+    def test_launch_overhead_dominates_tiny_kernels(self):
+        cost = KernelCost(flops=1e3, bytes=1e3, launches=1000)
+        assert execution_time(cost, A100) >= 1000 * A100.kernel_launch_overhead_s
+
+    def test_memory_bound_insensitive_to_peak_flops(self):
+        # Invariant from DESIGN.md: a memory-bound kernel does not speed up
+        # on a GPU with more flops but equal bandwidth.
+        cost = KernelCost(flops=1e9, bytes=1e10, launches=0)
+        fat = dataclasses.replace(A100, fp64_tc_tflops=1000.0)
+        assert execution_time(cost, fat) == pytest.approx(execution_time(cost, A100))
+
+    def test_arithmetic_intensity(self):
+        assert arithmetic_intensity(KernelCost(flops=20.0, bytes=2.0)) == 10.0
+
+    def test_attainable_roofline_shape(self):
+        below = attainable_gflops(1.0, A100)
+        at = attainable_gflops(A100.ridge_point, A100)
+        above = attainable_gflops(100.0, A100)
+        assert below < at == pytest.approx(A100.fp64_tc_tflops * 1e3)
+        assert above == at
+
+    def test_scaled_and_merge(self):
+        a = KernelCost(flops=10.0, bytes=100.0, launches=1, memory_efficiency=0.5)
+        b = KernelCost(flops=30.0, bytes=100.0, launches=2, memory_efficiency=1.0)
+        s = a.scaled(3)
+        assert s.flops == 30.0 and s.launches == 3
+        m = a.merge(b)
+        assert m.flops == 40.0 and m.launches == 3
+        # merged mem efficiency is the harmonic (traffic-weighted) mean
+        assert m.memory_efficiency == pytest.approx(200.0 / 300.0)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            KernelCost(flops=-1.0, bytes=0.0)
+        with pytest.raises(SimulationError):
+            KernelCost(flops=1.0, bytes=1.0, compute_efficiency=0.0)
+        with pytest.raises(SimulationError):
+            arithmetic_intensity(KernelCost(flops=1.0, bytes=0.0))
+        with pytest.raises(SimulationError):
+            attainable_gflops(0.0, A100)
+
+    @given(ai=st.floats(0.1, 1000.0))
+    @settings(max_examples=30, deadline=None)
+    def test_roofline_never_exceeds_peak(self, ai):
+        assert attainable_gflops(ai, H100) <= H100.fp64_tc_tflops * 1e3 + 1e-6

@@ -1,0 +1,223 @@
+"""Unit tests for the stencil kernel zoo (repro.core.kernels)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels as kz
+from repro.errors import KernelError
+
+
+class TestConstruction:
+    def test_1d_int_offsets_are_normalized(self):
+        k = kz.StencilKernel([-1, 0, 1], [0.25, 0.5, 0.25])
+        assert k.offsets == ((-1,), (0,), (1,))
+        assert k.ndim == 1
+        assert k.points == 3
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel([], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel([0, 1], [1.0])
+
+    def test_mixed_dimensionality_rejected(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel([(0,), (0, 1)], [1.0, 2.0])
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel([0, 0], [1.0, 2.0])
+
+    def test_nonfinite_weights_rejected(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel([0, 1], [1.0, np.inf])
+
+    def test_frozen(self):
+        k = kz.heat_1d()
+        with pytest.raises(AttributeError):
+            k.name = "other"  # type: ignore[misc]
+
+
+class TestGeometry:
+    def test_radius_heat_1d(self):
+        assert kz.heat_1d().radius == (1,)
+        assert kz.heat_1d().footprint_lengths == (3,)
+
+    def test_radius_1d7p(self):
+        assert kz.star_1d7p().radius == (3,)
+        assert kz.star_1d7p().footprint_lengths == (7,)
+
+    def test_radius_box_3d(self):
+        k = kz.box_3d27p()
+        assert k.radius == (1, 1, 1)
+        assert k.points == 27
+
+    def test_asymmetric_radius(self):
+        k = kz.StencilKernel([(0, -2), (0, 0), (1, 0)], [1.0, 2.0, 3.0])
+        assert k.radius == (1, 2)
+        assert k.footprint_lengths == (3, 5)
+
+    def test_flops_per_point(self):
+        assert kz.heat_2d().flops_per_point() == 10
+        assert kz.box_3d27p().flops_per_point() == 54
+
+
+class TestDense:
+    def test_dense_roundtrips_weights(self, any_kernel):
+        box = any_kernel.dense()
+        assert box.shape == any_kernel.footprint_lengths
+        r = any_kernel.radius
+        for off, w in zip(any_kernel.offsets, any_kernel.weights):
+            idx = tuple(ri + oi for ri, oi in zip(r, off))
+            assert box[idx] == w
+        assert np.count_nonzero(box) <= any_kernel.points
+
+    def test_weight_map(self):
+        k = kz.heat_1d(0.25)
+        wm = k.weight_map()
+        assert wm[(-1,)] == 0.25
+        assert wm[(0,)] == 0.5
+
+
+class TestZoo:
+    @pytest.mark.parametrize(
+        "name,points,ndim",
+        [
+            ("heat-1d", 3, 1),
+            ("1d5p", 5, 1),
+            ("1d7p", 7, 1),
+            ("heat-2d", 5, 2),
+            ("box-2d9p", 9, 2),
+            ("heat-3d", 7, 3),
+            ("box-3d27p", 27, 3),
+        ],
+    )
+    def test_table3_points(self, name, points, ndim):
+        k = kz.kernel_by_name(name)
+        assert k.points == points
+        assert k.ndim == ndim
+
+    def test_lookup_case_insensitive(self):
+        assert kz.kernel_by_name("Heat-1D").name == "heat-1d"
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KernelError):
+            kz.kernel_by_name("heat-4d")
+
+    def test_zoo_weights_sum_to_one(self, any_kernel):
+        # All default Table-3 kernels are conservative update rules.
+        assert np.isclose(sum(any_kernel.weights), 1.0)
+
+    def test_star_coefficient_validation(self):
+        with pytest.raises(KernelError):
+            kz.star_1d5p([1.0, 2.0])
+        with pytest.raises(KernelError):
+            kz.star_1d7p([1.0] * 5)
+
+
+class TestFromDense:
+    def test_roundtrip(self, any_kernel):
+        rebuilt = kz.StencilKernel.from_dense(any_kernel.dense())
+        assert rebuilt.weight_map() == pytest.approx(any_kernel.weight_map())
+
+    def test_explicit_center(self):
+        k = kz.StencilKernel.from_dense(np.array([1.0, 2.0]), center=(0,))
+        assert k.weight_map() == {(0,): 1.0, (1,): 2.0}
+
+    def test_even_extent_needs_center(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel.from_dense(np.ones(4))
+
+    def test_center_bounds(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel.from_dense(np.ones(3), center=(5,))
+
+    def test_tolerance_drops_entries(self):
+        box = np.array([1e-12, 1.0, 1e-12])
+        k = kz.StencilKernel.from_dense(box, tol=1e-9)
+        assert k.points == 1
+
+    def test_all_below_tolerance(self):
+        with pytest.raises(KernelError):
+            kz.StencilKernel.from_dense(np.full(3, 1e-15), tol=1e-9)
+
+
+class TestSpectrum:
+    def test_spectrum_shape_mismatch(self):
+        with pytest.raises(KernelError):
+            kz.heat_2d().spectrum(16)
+
+    def test_spectrum_too_small(self):
+        with pytest.raises(KernelError):
+            kz.star_1d7p().spectrum(4)
+
+    def test_dc_component_is_weight_sum(self, any_kernel):
+        shape = tuple(4 * m for m in any_kernel.footprint_lengths)
+        spec = any_kernel.spectrum(shape)
+        dc = spec[(0,) * any_kernel.ndim]
+        assert np.isclose(dc, sum(any_kernel.weights))
+
+    def test_spectrum_matches_analytic_1d(self):
+        k = kz.heat_1d(0.25)
+        n = 32
+        spec = k.spectrum(n)
+        freqs = 2 * np.pi * np.arange(n) / n
+        analytic = 0.5 + 0.25 * np.exp(1j * freqs) + 0.25 * np.exp(-1j * freqs)
+        np.testing.assert_allclose(spec, analytic, atol=1e-12)
+
+    def test_symmetric_kernel_spectrum_is_real(self):
+        spec = kz.heat_1d().spectrum(24)
+        np.testing.assert_allclose(spec.imag, 0.0, atol=1e-12)
+
+    def test_temporal_spectrum_is_power(self, any_kernel):
+        shape = tuple(4 * m for m in any_kernel.footprint_lengths)
+        s1 = any_kernel.spectrum(shape)
+        s3 = any_kernel.temporal_spectrum(shape, 3)
+        np.testing.assert_allclose(s3, s1**3, rtol=1e-12)
+
+    def test_temporal_spectrum_rejects_zero_steps(self):
+        with pytest.raises(KernelError):
+            kz.heat_1d().temporal_spectrum(16, 0)
+
+
+class TestFused:
+    def test_fused_one_is_identity(self, any_kernel):
+        f = any_kernel.fused(1)
+        assert f.weight_map() == pytest.approx(any_kernel.weight_map())
+
+    def test_fused_radius_grows_linearly(self):
+        k = kz.heat_1d()
+        assert k.fused(4).radius == (4,)
+        k2 = kz.box_2d9p()
+        assert k2.fused(3).radius == (3, 3)
+
+    def test_fused_weights_match_polynomial_1d(self):
+        # heat_1d fused twice = square of the symbol: coefficients of
+        # (a + b z + a z^-1)^2.
+        a, b = 0.25, 0.5
+        f = kz.heat_1d(0.25).fused(2)
+        wm = f.weight_map()
+        assert wm[(0,)] == pytest.approx(b * b + 2 * a * a)
+        assert wm[(1,)] == pytest.approx(2 * a * b)
+        assert wm[(2,)] == pytest.approx(a * a)
+        assert wm[(-1,)] == pytest.approx(2 * a * b)
+        assert wm[(-2,)] == pytest.approx(a * a)
+
+    def test_fused_rejects_zero(self):
+        with pytest.raises(KernelError):
+            kz.heat_1d().fused(0)
+
+    @given(steps=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=8, deadline=None)
+    def test_fused_spectrum_equals_power(self, steps):
+        k = kz.box_2d9p()
+        shape = (16, 16)
+        lhs = k.fused(steps).spectrum(shape)
+        rhs = k.spectrum(shape) ** steps
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)

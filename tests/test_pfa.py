@@ -1,0 +1,211 @@
+"""Unit tests for the prime-factor FFT and CRT/diagonal maps (repro.core.pfa)."""
+
+from __future__ import annotations
+
+from math import gcd
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pfa import (
+    PFAPlan,
+    best_coprime_split,
+    check_coprime,
+    coprime_splits,
+    crt_maps,
+    diagonal_walk,
+    pfa_dft,
+    pfa_idft,
+    ruritanian_positions,
+)
+from repro.errors import PFAError
+
+COPRIME_PAIRS = [(2, 3), (3, 4), (4, 9), (8, 7), (8, 9), (16, 9), (8, 63), (56, 9), (64, 63)]
+
+
+class TestValidation:
+    def test_non_coprime_rejected(self):
+        with pytest.raises(PFAError):
+            check_coprime(6, 4)
+
+    def test_trivial_factor_rejected(self):
+        with pytest.raises(PFAError):
+            check_coprime(1, 9)
+
+    def test_plan_validates(self):
+        with pytest.raises(PFAError):
+            PFAPlan(10, 4)
+
+    def test_scatter_length_mismatch(self, rng):
+        plan = PFAPlan(3, 4)
+        with pytest.raises(PFAError):
+            plan.scatter(rng.standard_normal(13))
+
+    def test_gather_shape_mismatch(self, rng):
+        plan = PFAPlan(3, 4)
+        with pytest.raises(PFAError):
+            plan.gather(rng.standard_normal((4, 3)))
+
+
+class TestIndexMaps:
+    @pytest.mark.parametrize("n1,n2", COPRIME_PAIRS)
+    def test_diagonal_walk_equals_crt_map(self, n1, n2):
+        # The paper's Observation 2/3: the mod-free walk reproduces the CRT
+        # reordering exactly.
+        r_walk, c_walk = diagonal_walk(n1, n2)
+        r_crt, c_crt = crt_maps(n1, n2)
+        np.testing.assert_array_equal(r_walk, r_crt)
+        np.testing.assert_array_equal(c_walk, c_crt)
+
+    @pytest.mark.parametrize("n1,n2", COPRIME_PAIRS)
+    def test_crt_map_is_bijective(self, n1, n2):
+        rows, cols = crt_maps(n1, n2)
+        flat = rows * n2 + cols
+        assert len(np.unique(flat)) == n1 * n2
+
+    @pytest.mark.parametrize("n1,n2", COPRIME_PAIRS)
+    def test_ruritanian_map_is_bijective(self, n1, n2):
+        pos = ruritanian_positions(n1, n2)
+        assert sorted(pos.ravel().tolist()) == list(range(n1 * n2))
+
+    def test_diagonal_walk_strides(self):
+        # Successive elements land on (r+1, c+1) with wraparound — the
+        # diagonal trace of Figure 4(b).
+        rows, cols = diagonal_walk(8, 9)
+        assert rows[0] == 0 and cols[0] == 0
+        np.testing.assert_array_equal(np.diff(rows) % 8, 1)
+        np.testing.assert_array_equal(np.diff(cols) % 9, 1)
+
+    def test_scatter_gather_roundtrip(self, rng):
+        plan = PFAPlan(8, 9)
+        x = rng.standard_normal(72)
+        np.testing.assert_array_equal(plan.gather(plan.scatter(x)), x)
+
+    def test_scatter_batched(self, rng):
+        plan = PFAPlan(4, 9)
+        x = rng.standard_normal((5, 36))
+        s = plan.scatter(x)
+        assert s.shape == (5, 4, 9)
+        np.testing.assert_array_equal(plan.gather(s), x)
+
+
+class TestPFATransform:
+    @pytest.mark.parametrize("n1,n2", COPRIME_PAIRS)
+    def test_dft_matches_numpy(self, n1, n2, rng):
+        x = rng.standard_normal(n1 * n2)
+        np.testing.assert_allclose(
+            pfa_dft(x, n1, n2), np.fft.fft(x), atol=1e-8 * n1 * n2
+        )
+
+    @pytest.mark.parametrize("n1,n2", COPRIME_PAIRS)
+    def test_idft_matches_numpy(self, n1, n2, rng):
+        spec = rng.standard_normal(n1 * n2) + 1j * rng.standard_normal(n1 * n2)
+        np.testing.assert_allclose(
+            pfa_idft(spec, n1, n2), np.fft.ifft(spec), atol=1e-10 * n1 * n2
+        )
+
+    def test_complex_input(self, rng):
+        z = rng.standard_normal(63) + 1j * rng.standard_normal(63)
+        np.testing.assert_allclose(pfa_dft(z, 9, 7), np.fft.fft(z), atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        plan = PFAPlan(16, 9)
+        x = rng.standard_normal(144) + 1j * rng.standard_normal(144)
+        np.testing.assert_allclose(plan.idft(plan.dft(x)), x, atol=1e-9)
+
+    def test_batched_dft(self, rng):
+        plan = PFAPlan(8, 9)
+        x = rng.standard_normal((4, 72))
+        got = plan.dft(x)
+        want = np.fft.fft(x, axis=-1)
+        np.testing.assert_allclose(got, want, atol=1e-8)
+
+    def test_modulo_and_diagonal_plans_agree(self, rng):
+        x = rng.standard_normal(56)
+        a = PFAPlan(8, 7, use_diagonal_indexing=True).dft(x)
+        b = PFAPlan(8, 7, use_diagonal_indexing=False).dft(x)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_spectrum_to_layout_consistency(self, rng):
+        # Multiplying in the 2-D layout == multiplying in natural order.
+        plan = PFAPlan(8, 9)
+        x = rng.standard_normal(72)
+        h = rng.standard_normal(72) + 1j * rng.standard_normal(72)
+        via_layout = plan.gather(
+            plan.idft2d(plan.dft2d(plan.scatter(x)) * plan.spectrum_to_layout(h))
+        )
+        via_natural = np.fft.ifft(np.fft.fft(x) * h)
+        np.testing.assert_allclose(via_layout, via_natural, atol=1e-9)
+
+    @given(
+        n1=st.sampled_from([3, 4, 5, 7, 8, 9, 11, 16]),
+        n2=st.sampled_from([3, 4, 5, 7, 8, 9, 11, 16]),
+        seed=st.integers(0, 2**16),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_dft_equals_numpy(self, n1, n2, seed):
+        if gcd(n1, n2) != 1:
+            return
+        x = np.random.default_rng(seed).standard_normal(n1 * n2)
+        np.testing.assert_allclose(
+            pfa_dft(x, n1, n2), np.fft.fft(x), atol=1e-7
+        )
+
+
+class TestSmemStoreAddresses:
+    def test_even_odd_pair_is_conflict_free_away_from_wraps(self):
+        from repro.gpusim.smem import bank_report
+
+        addrs = PFAPlan(8, 63).smem_store_addresses()
+        warps = [addrs[i : i + 32] for i in range(0, addrs.size - 31, 32)]
+        assert bank_report(warps).conflicts_per_request < 0.6
+
+    def test_beats_interleaved_complex_store(self):
+        from repro.gpusim.smem import bank_report
+
+        diag = PFAPlan(8, 63).smem_store_addresses()
+        n = np.arange(diag.size)
+        naive = (n * 2) * 8
+        chunks = lambda a: [a[i : i + 32] for i in range(0, a.size - 31, 32)]
+        assert (
+            bank_report(chunks(diag)).conflicts_per_request
+            < bank_report(chunks(naive)).conflicts_per_request
+        )
+
+    def test_both_odd_pair_autotunes_padding(self):
+        from repro.gpusim.smem import bank_report
+
+        addrs = PFAPlan(9, 7).smem_store_addresses()
+        assert addrs.size == 63
+        warps = [addrs[:32], addrs[31:]]
+        assert bank_report(warps).conflicts_per_request < 4.0
+
+    def test_addresses_are_unique(self):
+        for pair in ((8, 63), (9, 7), (16, 9)):
+            addrs = PFAPlan(*pair).smem_store_addresses()
+            assert len(np.unique(addrs)) == addrs.size
+
+
+class TestFactorisation:
+    def test_coprime_splits_of_72(self):
+        assert set(coprime_splits(72)) == {(8, 9), (9, 8)}
+
+    def test_prime_has_no_split(self):
+        assert coprime_splits(13) == []
+        with pytest.raises(PFAError):
+            best_coprime_split(13)
+
+    def test_prime_power_has_no_split(self):
+        assert coprime_splits(64) == []
+
+    def test_best_split_prefers_tcu_aligned_factor_first(self):
+        n1, n2 = best_coprime_split(72)
+        assert (n1, n2) == (8, 9)
+
+    def test_best_split_balances(self):
+        n1, n2 = best_coprime_split(4032)  # 2^6 * 63
+        assert n1 * n2 == 4032
+        assert gcd(n1, n2) == 1
+        assert n1 % 8 == 0

@@ -1,0 +1,156 @@
+"""Integration tests for the assembled FlashFFTStencil system (repro.core.plan)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil
+from repro.core.reference import run_stencil
+from repro.core.streamline import StreamlineConfig
+from repro.errors import PlanError
+from repro.gpusim.roofline import arithmetic_intensity, execution_time
+from repro.gpusim.spec import A100, H100
+
+
+class TestConstruction:
+    def test_autotuned_1d(self):
+        plan = FlashFFTStencil(8192, kz.heat_1d(), fused_steps=6)
+        assert plan.tuned is not None
+        assert plan.local_shape[0] == plan.segments.valid_shape[0] + 12
+
+    def test_int_grid_shape(self):
+        plan = FlashFFTStencil(512, kz.heat_1d())
+        assert plan.grid_shape == (512,)
+
+    def test_explicit_tile(self):
+        plan = FlashFFTStencil(256, kz.heat_1d(), tile=64)
+        assert plan.segments.valid_shape == (64,)
+
+    def test_multidim_autotuned(self):
+        plan = FlashFFTStencil((128, 128), kz.box_2d9p(), fused_steps=2)
+        assert len(plan.segments.valid_shape) == 2
+
+    def test_grid_shape_mismatch_on_apply(self, rng):
+        plan = FlashFFTStencil(128, kz.heat_1d())
+        with pytest.raises(PlanError):
+            plan.apply(rng.standard_normal(129))
+
+
+class TestNumerics:
+    @pytest.mark.parametrize("fused", [1, 4, 10])
+    def test_periodic_1d(self, rng, fused):
+        x = rng.standard_normal(2048)
+        plan = FlashFFTStencil(2048, kz.heat_1d(), fused_steps=fused)
+        got = plan.run(x, total_steps=20)
+        want = run_stencil(x, kz.heat_1d(), 20)
+        np.testing.assert_allclose(got, want, atol=1e-8)
+
+    def test_remainder_steps(self, rng):
+        # total_steps not a multiple of fused_steps exercises the tail plan.
+        x = rng.standard_normal(1024)
+        plan = FlashFFTStencil(1024, kz.star_1d5p(), fused_steps=7)
+        got = plan.run(x, total_steps=17)  # 2*7 + 3
+        np.testing.assert_allclose(got, run_stencil(x, kz.star_1d5p(), 17), atol=1e-8)
+
+    def test_zero_boundary(self, rng):
+        x = rng.standard_normal(1024)
+        plan = FlashFFTStencil(1024, kz.heat_1d(), fused_steps=4, boundary="zero")
+        got = plan.run(x, total_steps=8)
+        np.testing.assert_allclose(
+            got, run_stencil(x, kz.heat_1d(), 8, boundary="zero"), atol=1e-9
+        )
+
+    def test_2d(self, rng):
+        x = rng.standard_normal((96, 80))
+        plan = FlashFFTStencil((96, 80), kz.heat_2d(), fused_steps=3, tile=(32, 40))
+        got = plan.run(x, total_steps=6)
+        np.testing.assert_allclose(got, run_stencil(x, kz.heat_2d(), 6), atol=1e-9)
+
+    def test_3d(self, rng):
+        x = rng.standard_normal((24, 24, 24))
+        plan = FlashFFTStencil((24, 24, 24), kz.heat_3d(), fused_steps=2, tile=(12, 12, 12))
+        got = plan.run(x, total_steps=4)
+        np.testing.assert_allclose(got, run_stencil(x, kz.heat_3d(), 4), atol=1e-9)
+
+    def test_emulated_tcu_equals_fast_path(self, rng):
+        x = rng.standard_normal(1500)
+        plan = FlashFFTStencil(1500, kz.heat_1d(), fused_steps=2, tile=248)
+        fast = plan.apply(x)
+        emu = plan.apply(x, emulate_tcu=True)
+        np.testing.assert_allclose(emu, fast, atol=1e-9)
+
+    def test_zero_total_steps(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(256, kz.heat_1d())
+        np.testing.assert_array_equal(plan.run(x, 0), x)
+
+    def test_negative_steps_rejected(self, rng):
+        plan = FlashFFTStencil(256, kz.heat_1d())
+        with pytest.raises(PlanError):
+            plan.run(rng.standard_normal(256), -1)
+
+
+class TestMeasurementAndCost:
+    def test_measure_produces_sane_coefficients(self):
+        plan = FlashFFTStencil(8192, kz.heat_1d(), fused_steps=6)
+        m = plan.measure()
+        assert m.flops_per_point > 0
+        assert m.bytes_per_point >= 16.0  # at least read + write each point
+        assert 0.0 <= m.sparsity < 0.5
+        assert 0.0 < m.tcu_utilization <= 1.0
+
+    def test_arithmetic_intensity_above_a100_ridge(self):
+        # The §5.4 claim: bound shifting pushes FlashFFTStencil past the
+        # A100 ridge point (10.1 FLOP/byte).
+        plan = FlashFFTStencil(1 << 20, kz.heat_1d(), fused_steps=6)
+        m = plan.measure()
+        assert m.arithmetic_intensity > A100.ridge_point
+
+    def test_paper_scale_cost(self):
+        plan = FlashFFTStencil(1 << 16, kz.heat_1d(), fused_steps=8)
+        m = plan.measure()
+        cost = plan.paper_scale_cost(512 * 2**20, 1000, m)
+        assert cost.flops > 0 and cost.bytes > 0
+        assert cost.launches == 125
+        t_h100 = execution_time(cost, H100)
+        t_a100 = execution_time(cost, A100)
+        assert 0 < t_h100 < t_a100  # H100 is strictly faster
+        assert arithmetic_intensity(cost) == pytest.approx(m.arithmetic_intensity)
+
+    def test_cost_validation(self):
+        plan = FlashFFTStencil(1024, kz.heat_1d())
+        with pytest.raises(PlanError):
+            plan.paper_scale_cost(0, 10)
+        with pytest.raises(PlanError):
+            plan.measure(sample_segments=0)
+
+    def test_deeper_fusion_fewer_launches(self):
+        shallow = FlashFFTStencil(1 << 16, kz.heat_1d(), fused_steps=1)
+        deep = FlashFFTStencil(1 << 16, kz.heat_1d(), fused_steps=10)
+        n, steps = 1 << 20, 100
+        c_shallow = shallow.paper_scale_cost(n, steps)
+        c_deep = deep.paper_scale_cost(n, steps)
+        assert c_deep.launches < c_shallow.launches
+        assert execution_time(c_deep, A100) < execution_time(c_shallow, A100)
+
+
+class TestConfigPropagation:
+    def test_config_reaches_executor(self):
+        cfg = StreamlineConfig(swizzle=False, double_layer=False)
+        plan = FlashFFTStencil(1024, kz.heat_1d(), fused_steps=2, config=cfg, tile=248)
+        assert plan.executor.config is cfg
+
+    def test_ablation_moves_utilization(self):
+        base = FlashFFTStencil(4096, kz.heat_1d(), fused_steps=4)
+        naive = FlashFFTStencil(
+            4096,
+            kz.heat_1d(),
+            fused_steps=4,
+            config=StreamlineConfig(swizzle=False, squeeze_registers=False),
+        )
+        m_base = base.measure()
+        m_naive = naive.measure()
+        assert m_base.tcu_utilization > m_naive.tcu_utilization
+        assert m_base.occupancy.warps_per_sm >= m_naive.occupancy.warps_per_sm

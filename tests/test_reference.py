@@ -1,0 +1,166 @@
+"""Unit tests for the direct stencil engine (repro.core.reference)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import ndimage
+
+from repro.core import kernels as kz
+from repro.core.reference import apply_stencil, run_stencil
+from repro.errors import BoundaryError, KernelError
+from .conftest import small_grid_for
+
+
+class TestValidation:
+    def test_bad_boundary(self, rng):
+        with pytest.raises(BoundaryError):
+            apply_stencil(rng.standard_normal(16), kz.heat_1d(), boundary="reflect")
+
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(KernelError):
+            apply_stencil(rng.standard_normal((8, 8)), kz.heat_1d())
+
+    def test_grid_too_small(self, rng):
+        with pytest.raises(KernelError):
+            apply_stencil(rng.standard_normal(5), kz.star_1d7p())
+
+    def test_negative_steps(self, rng):
+        with pytest.raises(KernelError):
+            run_stencil(rng.standard_normal(16), kz.heat_1d(), -1)
+
+    def test_input_not_modified(self, rng):
+        x = rng.standard_normal(32)
+        x0 = x.copy()
+        apply_stencil(x, kz.heat_1d())
+        np.testing.assert_array_equal(x, x0)
+
+
+class TestAgainstScipy:
+    """scipy.ndimage.correlate is an independent implementation of the same
+    weighted-window operation; matching it pins the offset convention."""
+
+    @pytest.mark.parametrize("boundary,mode", [("periodic", "wrap"), ("zero", "constant")])
+    def test_matches_ndimage(self, any_kernel, rng, boundary, mode):
+        x = small_grid_for(any_kernel, rng)
+        got = apply_stencil(x, any_kernel, boundary=boundary)
+        want = ndimage.correlate(x, any_kernel.dense(), mode=mode, cval=0.0)
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+
+class TestSemantics:
+    def test_identity_kernel(self, rng):
+        x = rng.standard_normal((12, 12))
+        ident = kz.StencilKernel([(0, 0)], [1.0])
+        np.testing.assert_array_equal(apply_stencil(x, ident), x)
+
+    def test_pure_shift_periodic(self, rng):
+        x = rng.standard_normal(32)
+        shift = kz.StencilKernel([3], [1.0])
+        np.testing.assert_allclose(apply_stencil(x, shift), np.roll(x, -3))
+
+    def test_pure_shift_zero_boundary(self, rng):
+        x = rng.standard_normal(32)
+        shift = kz.StencilKernel([2], [1.0])
+        y = apply_stencil(x, shift, boundary="zero")
+        np.testing.assert_allclose(y[:-2], x[2:])
+        np.testing.assert_allclose(y[-2:], 0.0)
+
+    def test_zero_steps_is_copy(self, rng):
+        x = rng.standard_normal(16)
+        y = run_stencil(x, kz.heat_1d(), 0)
+        np.testing.assert_array_equal(y, x)
+        assert y is not x
+
+    def test_linearity(self, any_kernel, rng):
+        x = small_grid_for(any_kernel, rng)
+        y = small_grid_for(any_kernel, rng)
+        lhs = apply_stencil(2.0 * x + 3.0 * y, any_kernel)
+        rhs = 2.0 * apply_stencil(x, any_kernel) + 3.0 * apply_stencil(y, any_kernel)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-10)
+
+    def test_constant_field_fixed_point(self, any_kernel):
+        # Zoo kernels have weights summing to 1: constants are preserved
+        # under periodic boundaries.
+        shape = tuple(3 * m for m in any_kernel.footprint_lengths)
+        x = np.full(shape, 7.5)
+        y = run_stencil(x, any_kernel, 3)
+        np.testing.assert_allclose(y, 7.5, atol=1e-12)
+
+    def test_translation_equivariance_periodic(self, any_kernel, rng):
+        x = small_grid_for(any_kernel, rng)
+        shift = tuple(range(1, any_kernel.ndim + 1))
+        axes = tuple(range(any_kernel.ndim))
+        lhs = apply_stencil(np.roll(x, shift, axes), any_kernel)
+        rhs = np.roll(apply_stencil(x, any_kernel), shift, axes)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_run_composes(self, any_kernel, rng):
+        x = small_grid_for(any_kernel, rng)
+        a = run_stencil(x, any_kernel, 4)
+        b = run_stencil(run_stencil(x, any_kernel, 2), any_kernel, 2)
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+
+class TestFusedKernelEquivalence:
+    """kernel.fused(T) applied once == kernel applied T times (periodic)."""
+
+    @pytest.mark.parametrize("steps", [2, 3, 5])
+    def test_fused_equals_sequential(self, kernel_1d, rng, steps):
+        x = rng.standard_normal(96)
+        seq = run_stencil(x, kernel_1d, steps)
+        one = apply_stencil(x, kernel_1d.fused(steps))
+        np.testing.assert_allclose(one, seq, atol=1e-9)
+
+    def test_fused_equals_sequential_2d(self, rng):
+        x = rng.standard_normal((24, 24))
+        k = kz.box_2d9p()
+        np.testing.assert_allclose(
+            apply_stencil(x, k.fused(3)), run_stencil(x, k, 3), atol=1e-10
+        )
+
+
+class TestPropertyBased:
+    @given(
+        x=hnp.arrays(
+            np.float64,
+            st.integers(min_value=8, max_value=64),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        ),
+        alpha=st.floats(0.01, 0.5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heat_mass_conservation_periodic(self, x, alpha):
+        # weights sum to 1 => total mass conserved on a periodic grid.
+        y = apply_stencil(x, kz.heat_1d(alpha))
+        assert np.isclose(y.sum(), x.sum(), rtol=1e-9, atol=1e-6)
+
+    @given(
+        x=hnp.arrays(
+            np.float64,
+            st.integers(min_value=8, max_value=48),
+            elements=st.floats(0.0, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heat_positivity(self, x):
+        # Non-negative weights => non-negative fields stay non-negative.
+        y = run_stencil(x, kz.heat_1d(0.25), 3)
+        assert (y >= -1e-9).all()
+
+    @given(
+        x=hnp.arrays(
+            np.float64,
+            st.integers(min_value=8, max_value=48),
+            elements=st.floats(-1e3, 1e3, allow_nan=False),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_heat_max_principle(self, x):
+        # Convex-combination weights: output range within input range.
+        y = apply_stencil(x, kz.heat_1d(0.25))
+        assert y.max() <= x.max() + 1e-9
+        assert y.min() >= x.min() - 1e-9

@@ -1,0 +1,138 @@
+"""Unit tests for the whole-domain FFT stencil engine (repro.core.spectral)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels as kz
+from repro.core.reference import run_stencil
+from repro.core.spectral import (
+    apply_fft_stencil,
+    fft_stencil_periodic,
+    fft_stencil_zero,
+)
+from repro.errors import BoundaryError, KernelError
+from .conftest import small_grid_for
+
+
+class TestValidation:
+    def test_dim_mismatch(self, rng):
+        with pytest.raises(KernelError):
+            fft_stencil_periodic(rng.standard_normal((8, 8)), kz.heat_1d())
+
+    def test_negative_steps(self, rng):
+        with pytest.raises(KernelError):
+            fft_stencil_periodic(rng.standard_normal(16), kz.heat_1d(), -2)
+        with pytest.raises(KernelError):
+            fft_stencil_zero(rng.standard_normal(16), kz.heat_1d(), -2)
+
+    def test_bad_boundary_dispatch(self, rng):
+        with pytest.raises(BoundaryError):
+            apply_fft_stencil(rng.standard_normal(16), kz.heat_1d(), boundary="mirror")
+
+    def test_zero_steps_copy(self, rng):
+        x = rng.standard_normal(16)
+        for fn in (fft_stencil_periodic, fft_stencil_zero):
+            y = fn(x, kz.heat_1d(), 0)
+            np.testing.assert_array_equal(y, x)
+            assert y is not x
+
+
+class TestPeriodic:
+    @pytest.mark.parametrize("steps", [1, 2, 7])
+    def test_matches_reference(self, any_kernel, rng, steps):
+        x = small_grid_for(any_kernel, rng)
+        want = run_stencil(x, any_kernel, steps, boundary="periodic")
+        got = fft_stencil_periodic(x, any_kernel, steps, fused=True)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_unfused_matches_fused(self, kernel_1d, rng):
+        x = rng.standard_normal(128)
+        fused = fft_stencil_periodic(x, kernel_1d, 5, fused=True)
+        seq = fft_stencil_periodic(x, kernel_1d, 5, fused=False)
+        np.testing.assert_allclose(fused, seq, atol=1e-9)
+
+    def test_odd_sizes(self, rng):
+        # FFT path must not assume power-of-two or even lengths.
+        x = rng.standard_normal(97)
+        want = run_stencil(x, kz.star_1d5p(), 3)
+        got = fft_stencil_periodic(x, kz.star_1d5p(), 3)
+        np.testing.assert_allclose(got, want, atol=1e-10)
+
+    def test_result_is_real_float64(self, rng):
+        y = fft_stencil_periodic(rng.standard_normal(32), kz.heat_1d(), 2)
+        assert y.dtype == np.float64
+
+
+class TestZeroBoundary:
+    @pytest.mark.parametrize("steps", [1, 2, 3])
+    def test_matches_reference_1d(self, kernel_1d, rng, steps):
+        x = rng.standard_normal(160)
+        want = run_stencil(x, kernel_1d, steps, boundary="zero")
+        got = fft_stencil_zero(x, kernel_1d, steps)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    @pytest.mark.parametrize("steps", [1, 2, 4])
+    def test_matches_reference_2d(self, rng, steps):
+        x = rng.standard_normal((40, 52))
+        for k in (kz.heat_2d(), kz.box_2d9p()):
+            want = run_stencil(x, k, steps, boundary="zero")
+            got = fft_stencil_zero(x, k, steps)
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_matches_reference_3d(self, rng):
+        x = rng.standard_normal((20, 22, 24))
+        for k in (kz.heat_3d(), kz.box_3d27p()):
+            want = run_stencil(x, k, 2, boundary="zero")
+            got = fft_stencil_zero(x, k, 2)
+            np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_small_grid_falls_back_to_sequential(self, rng):
+        # 4*T*r >= extent forces the sequential path; still exact.
+        x = rng.standard_normal(16)
+        want = run_stencil(x, kz.star_1d7p(), 4, boundary="zero")
+        got = fft_stencil_zero(x, kz.star_1d7p(), 4)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_boundary_band_is_exact_not_approximate(self, rng):
+        # The free (fused-kernel) evolution alone is wrong at the edges;
+        # the band recompute must fix it exactly.
+        x = rng.standard_normal(200)
+        k = kz.heat_1d(0.25)
+        steps = 5
+        want = run_stencil(x, k, steps, boundary="zero")
+        got = fft_stencil_zero(x, k, steps)
+        band = steps * k.max_radius
+        np.testing.assert_allclose(got[:band], want[:band], atol=1e-11)
+        np.testing.assert_allclose(got[-band:], want[-band:], atol=1e-11)
+
+    def test_dispatch_unfused_zero(self, rng):
+        x = rng.standard_normal(96)
+        got = apply_fft_stencil(x, kz.heat_1d(), 3, boundary="zero", fused=False)
+        want = run_stencil(x, kz.heat_1d(), 3, boundary="zero")
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+
+class TestTemporalFusionProperty:
+    """Equation (10): spectrum powers implement unrestricted temporal fusion."""
+
+    @given(steps=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=16, deadline=None)
+    def test_any_fusion_depth_periodic(self, steps):
+        rng = np.random.default_rng(steps)
+        x = rng.standard_normal(64)
+        k = kz.heat_1d(0.25)
+        want = run_stencil(x, k, steps)
+        got = fft_stencil_periodic(x, k, steps, fused=True)
+        np.testing.assert_allclose(got, want, atol=1e-8)
+
+    def test_fusion_depth_beyond_prior_work_cap(self, rng):
+        # ConvStencil/LoRAStencil cap at 3 fused steps; FFT fusion does not.
+        x = rng.standard_normal(256)
+        k = kz.star_1d5p()
+        want = run_stencil(x, k, 50)
+        got = fft_stencil_periodic(x, k, 50, fused=True)
+        np.testing.assert_allclose(got, want, atol=1e-7)

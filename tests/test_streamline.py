@@ -1,0 +1,178 @@
+"""Unit tests for Computation Streamlining on the emulated TCU."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.reference import run_stencil
+from repro.core.streamline import (
+    REGISTERS_SQUEEZED,
+    REGISTERS_UNSQUEEZED,
+    StreamlineConfig,
+    TCUStencilExecutor,
+)
+from repro.core.tailoring import SegmentPlan
+from repro.errors import PlanError
+
+
+def make_1d(steps=2, nseg=6, tile=40, n=240, kernel=None):
+    kernel = kernel or kz.heat_1d(0.25)
+    plan = SegmentPlan((n,), kernel, steps, (tile,))
+    rng = np.random.default_rng(1)
+    grid = rng.standard_normal(n)
+    windows = plan.split(grid)
+    return plan, grid, windows
+
+
+ALL_CONFIGS = [
+    StreamlineConfig(),
+    StreamlineConfig(swizzle=False),
+    StreamlineConfig(squeeze_registers=False),
+    StreamlineConfig(double_layer=False),
+    StreamlineConfig(swizzle=False, squeeze_registers=False, double_layer=False),
+    StreamlineConfig(complex_method="3mult"),
+]
+
+
+class TestValidation:
+    def test_spectrum_shape_mismatch(self):
+        with pytest.raises(PlanError):
+            TCUStencilExecutor((8,), np.ones(9, dtype=complex))
+
+    def test_bad_segment_shape(self):
+        ex = TCUStencilExecutor((12,), kz.heat_1d().spectrum(12))
+        with pytest.raises(PlanError):
+            ex.run(np.zeros((2, 13)))
+
+    def test_empty_batch(self):
+        ex = TCUStencilExecutor((12,), kz.heat_1d().spectrum(12))
+        with pytest.raises(PlanError):
+            ex.run(np.zeros((0, 12)))
+
+    def test_bad_pfa_split(self):
+        with pytest.raises(PlanError):
+            TCUStencilExecutor((12,), kz.heat_1d().spectrum(12), pfa_split=(3, 5))
+
+
+class TestNumericalExactness:
+    """Every config computes exactly the batched-FFT fused result."""
+
+    @pytest.mark.parametrize("config", ALL_CONFIGS, ids=str)
+    def test_matches_numpy_fuse_1d(self, config):
+        plan, _, windows = make_1d()
+        ex = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), config
+        )
+        got = ex.run(windows).output
+        want = plan.fuse(windows)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+
+    def test_odd_segment_count_with_double_layer(self):
+        plan, _, windows = make_1d(nseg=5, n=200)
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        got = ex.run(windows).output
+        assert got.shape == windows.shape
+        np.testing.assert_allclose(got, plan.fuse(windows), atol=1e-9)
+
+    def test_single_segment(self):
+        plan, _, windows = make_1d(tile=236, n=236)
+        assert windows.shape[0] == 1
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        np.testing.assert_allclose(ex.run(windows).output, plan.fuse(windows), atol=1e-9)
+
+    def test_2d_window(self, rng):
+        k = kz.box_2d9p()
+        plan = SegmentPlan((32, 36), k, 2, (16, 18))
+        windows = plan.split(rng.standard_normal((32, 36)))
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        np.testing.assert_allclose(ex.run(windows).output, plan.fuse(windows), atol=1e-9)
+
+    def test_3d_window(self, rng):
+        k = kz.heat_3d()
+        plan = SegmentPlan((12, 12, 12), k, 1, (6, 6, 6))
+        windows = plan.split(rng.standard_normal((12, 12, 12)))
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        np.testing.assert_allclose(ex.run(windows).output, plan.fuse(windows), atol=1e-9)
+
+    def test_end_to_end_through_stitch(self, rng):
+        # executor output stitched back equals the sequential reference.
+        plan, grid, windows = make_1d(steps=3, n=240, tile=40)
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        out = plan.stitch(ex.run(windows).output)
+        np.testing.assert_allclose(out, run_stencil(grid, kz.heat_1d(0.25), 3), atol=1e-9)
+
+
+class TestTechniqueEffects:
+    """The §3.3 switches move the modelled metrics the right way."""
+
+    def test_swizzle_raises_pipeline_utilization(self):
+        plan, _, windows = make_1d()
+        on = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(swizzle=True)
+        ).run(windows)
+        off = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(swizzle=False)
+        ).run(windows)
+        assert on.pipeline.tcu_utilization > off.pipeline.tcu_utilization
+        assert on.mma_stats.mma_ops == off.mma_stats.mma_ops  # same math
+
+    def test_double_layer_halves_passes_and_mmas(self):
+        plan, _, windows = make_1d(nseg=6)
+        on = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(double_layer=True)
+        ).run(windows)
+        off = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(double_layer=False)
+        ).run(windows)
+        assert on.passes * 2 == off.passes
+        assert on.mma_stats.mma_ops < off.mma_stats.mma_ops
+
+    def test_no_double_layer_wastes_fragments_on_zero_imag(self):
+        plan, _, windows = make_1d()
+        on = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(double_layer=True)
+        ).run(windows)
+        off = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(double_layer=False)
+        ).run(windows)
+        # The empty imaginary layer shows up as extra *data* zeros in the
+        # operand fragments (padding waste depends only on shapes).
+        on_rate = on.mma_stats.data_zeros / on.mma_stats.fragment_elements
+        off_rate = off.mma_stats.data_zeros / off.mma_stats.fragment_elements
+        assert off_rate > on_rate
+
+    def test_register_budgets(self):
+        assert StreamlineConfig(squeeze_registers=True).registers_per_thread == REGISTERS_SQUEEZED
+        assert StreamlineConfig(squeeze_registers=False).registers_per_thread == REGISTERS_UNSQUEEZED
+        assert REGISTERS_UNSQUEEZED == 2 * REGISTERS_SQUEEZED
+
+    def test_squeeze_removes_smem_loads(self):
+        plan, _, windows = make_1d()
+        on = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(squeeze_registers=True)
+        ).run(windows)
+        off = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(squeeze_registers=False)
+        ).run(windows)
+        assert on.pipeline.cycles.get("smem_ld", 0) < off.pipeline.cycles.get("smem_ld", 0)
+
+    def test_karatsuba_reduces_mmas(self):
+        plan, _, windows = make_1d()
+        four = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(complex_method="4mult")
+        ).run(windows)
+        three = TCUStencilExecutor(
+            plan.local_shape, plan.fused_spectrum(), StreamlineConfig(complex_method="3mult")
+        ).run(windows)
+        assert three.mma_stats.mma_ops == pytest.approx(0.75 * four.mma_stats.mma_ops, rel=0.01)
+
+    def test_fragment_density_with_batched_segments(self):
+        # The central Figure-10 claim: (near-)fully dense fragments when the
+        # Eq.-(5) window is used and segments batch along the MMA n
+        # dimension.  L = 504 = 8 * 63 splits with ~3% padding waste.
+        plan, _, windows = make_1d(nseg=8, n=4000, tile=500, steps=2)
+        assert plan.local_shape == (504,)
+        res = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum()).run(windows)
+        assert res.mma_stats.layout_sparsity < 0.05

@@ -1,0 +1,106 @@
+"""Edge-case coverage for the TCU executor's slice machinery and the
+plan-level emulated paths in higher dimensions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil
+from repro.core.reference import run_stencil
+from repro.core.streamline import StreamlineConfig, TCUStencilExecutor
+from repro.core.tailoring import SegmentPlan
+from repro.errors import PlanError
+
+
+class TestSliceSpectraDetection:
+    def test_band_support_matches_fused_halo(self):
+        # The accumulation band recovered from the 3-D spectrum must span
+        # exactly [-T*r, T*r] along axis 0.
+        k = kz.heat_3d()
+        steps = 2
+        plan = SegmentPlan((24, 16, 18), k, steps, (12, 8, 9))
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        assert ex.accumulate
+        assert set(ex.accum_offsets) == set(range(-steps, steps + 1))
+
+    def test_axis0_only_kernel_has_wide_band(self):
+        # A kernel reaching +/-2 along axis 0 only: band of 5 offsets per
+        # step of fusion, and no transform sparsity from the other axis.
+        k = kz.StencilKernel([(-2, 0), (0, 0), (2, 0)], [0.25, 0.5, 0.25])
+        plan = SegmentPlan((32, 18), k, 1, (16, 18))
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        assert set(ex.accum_offsets) == {-2, 0, 2}
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((32, 18))
+        out = plan.stitch(ex.run(plan.split(x)).output)
+        np.testing.assert_allclose(out, run_stencil(x, k, 1), atol=1e-10)
+
+    def test_band_wrap_when_halo_exceeds_window(self):
+        # Window so small the band covers every slice — still exact.
+        k = kz.heat_2d()
+        plan = SegmentPlan((8, 36), k, 3, (2, 18))
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((8, 36))
+        out = plan.stitch(ex.run(plan.split(x)).output)
+        np.testing.assert_allclose(out, run_stencil(x, k, 3), atol=1e-9)
+
+    def test_prime_power_last_axis_falls_back_to_direct_dft(self):
+        # 16 has no co-prime split: multi-dim windows must still work
+        # (dense last-axis DFT instead of PFA).
+        k = kz.heat_2d()
+        plan = SegmentPlan((24, 32), k, 2, (12, 12))  # local (16, 16)
+        assert plan.local_shape == (16, 16)
+        ex = TCUStencilExecutor(plan.local_shape, plan.fused_spectrum())
+        assert ex.pfa is None
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((24, 32))
+        out = plan.stitch(ex.run(plan.split(x)).output)
+        np.testing.assert_allclose(out, run_stencil(x, k, 2), atol=1e-9)
+
+    def test_prime_power_1d_window_rejected_clearly(self):
+        with pytest.raises(PlanError, match="co-prime"):
+            TCUStencilExecutor((16,), kz.heat_1d().spectrum(16))
+
+    def test_4d_rejected(self):
+        with pytest.raises(PlanError):
+            TCUStencilExecutor((4, 4, 4, 4), np.ones((4, 4, 4, 4), dtype=complex))
+
+
+class TestPlanEmulationMultiDim:
+    def test_2d_emulated_equals_fast_path(self, rng):
+        x = rng.standard_normal((48, 56))
+        plan = FlashFFTStencil((48, 56), kz.box_2d9p(), fused_steps=2, tile=(24, 28))
+        np.testing.assert_allclose(
+            plan.apply(x, emulate_tcu=True), plan.apply(x), atol=1e-9
+        )
+
+    def test_3d_emulated_equals_fast_path(self, rng):
+        x = rng.standard_normal((16, 12, 14))
+        plan = FlashFFTStencil(
+            (16, 12, 14), kz.heat_3d(), fused_steps=1, tile=(8, 6, 7)
+        )
+        np.testing.assert_allclose(
+            plan.apply(x, emulate_tcu=True), plan.apply(x), atol=1e-9
+        )
+
+    def test_emulated_run_end_to_end_2d(self, rng):
+        x = rng.standard_normal((32, 36))
+        plan = FlashFFTStencil((32, 36), kz.heat_2d(), fused_steps=3, tile=(16, 18))
+        got = plan.run(x, 6, emulate_tcu=True)
+        np.testing.assert_allclose(got, run_stencil(x, kz.heat_2d(), 6), atol=1e-9)
+
+    def test_measurement_multidim(self):
+        plan = FlashFFTStencil((64, 128), kz.heat_2d(), fused_steps=4)
+        m = plan.measure(sample_segments=2)
+        assert m.flops_per_point > 0
+        assert m.arithmetic_intensity > 1.0
+
+    def test_last_result_stored(self, rng):
+        x = rng.standard_normal(1500)
+        plan = FlashFFTStencil(1500, kz.heat_1d(), fused_steps=2, tile=248)
+        plan.apply(x, emulate_tcu=True)
+        assert plan._last_result is not None
+        assert plan._last_result.mma_stats.mma_ops > 0

@@ -1,0 +1,174 @@
+"""Unit tests for Kernel Tailoring / overlap-save (repro.core.tailoring)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels as kz
+from repro.core.reference import run_stencil
+from repro.core.tailoring import SegmentPlan, tailored_fft_stencil
+from repro.errors import PlanError
+
+
+class TestValidation:
+    def test_zero_steps_rejected(self):
+        with pytest.raises(PlanError):
+            SegmentPlan((64,), kz.heat_1d(), 0, (16,))
+
+    def test_dim_mismatch(self):
+        with pytest.raises(PlanError):
+            SegmentPlan((64, 64), kz.heat_1d(), 1, (16,))
+
+    def test_tile_larger_than_grid(self):
+        with pytest.raises(PlanError):
+            SegmentPlan((32,), kz.heat_1d(), 1, (64,))
+
+    def test_bad_boundary(self):
+        with pytest.raises(PlanError):
+            SegmentPlan((32,), kz.heat_1d(), 1, (16,), boundary="mirror")
+
+    def test_split_wrong_grid(self, rng):
+        plan = SegmentPlan((32,), kz.heat_1d(), 1, (16,))
+        with pytest.raises(PlanError):
+            plan.split(rng.standard_normal(33))
+
+    def test_fuse_wrong_shape(self, rng):
+        plan = SegmentPlan((32,), kz.heat_1d(), 1, (16,))
+        with pytest.raises(PlanError):
+            plan.fuse(rng.standard_normal((3, 18)))
+
+
+class TestGeometry:
+    def test_halo_is_steps_times_radius(self):
+        plan = SegmentPlan((128,), kz.star_1d7p(), 4, (32,))
+        assert plan.halo == (12,)
+        assert plan.local_shape == (56,)  # S + 2*T*r, Eq. (4) with T fused steps
+
+    def test_segment_counts(self):
+        plan = SegmentPlan((100,), kz.heat_1d(), 1, (32,))
+        assert plan.num_segments == (4,)  # tiles at 0, 32, 64, 96 (ragged last)
+        assert plan.total_segments == 4
+
+    def test_2d_segment_counts(self):
+        plan = SegmentPlan((64, 48), kz.heat_2d(), 2, (32, 16))
+        assert plan.num_segments == (2, 3)
+        assert plan.total_segments == 6
+        assert plan.local_shape == (36, 20)
+
+    def test_auxiliary_shrinks_quadratically(self):
+        # Figure 8's mechanism: auxiliary data scales with L^2 not N^2.
+        plan = SegmentPlan((4096,), kz.heat_1d(), 1, (62,))
+        big = SegmentPlan.standard_auxiliary_floats((4096,))
+        small = plan.auxiliary_floats()
+        assert small < big / 1000
+
+
+class TestNumericsPeriodic:
+    @pytest.mark.parametrize("steps", [1, 2, 5])
+    def test_matches_reference_1d(self, kernel_1d, rng, steps):
+        x = rng.standard_normal(160)
+        plan = SegmentPlan((160,), kernel_1d, steps, (40,))
+        np.testing.assert_allclose(
+            plan.run(x), run_stencil(x, kernel_1d, steps), atol=1e-9
+        )
+
+    def test_ragged_last_tile(self, rng):
+        x = rng.standard_normal(100)  # 100 = 3*32 + 4
+        plan = SegmentPlan((100,), kz.heat_1d(), 2, (32,))
+        np.testing.assert_allclose(plan.run(x), run_stencil(x, kz.heat_1d(), 2), atol=1e-10)
+
+    def test_tile_of_one(self, rng):
+        x = rng.standard_normal(24)
+        plan = SegmentPlan((24,), kz.heat_1d(), 1, (1,))
+        np.testing.assert_allclose(plan.run(x), run_stencil(x, kz.heat_1d(), 1), atol=1e-10)
+
+    def test_window_larger_than_grid(self, rng):
+        # L = S + 2*T*r may exceed the grid; wraparound reads stay exact.
+        x = rng.standard_normal(20)
+        plan = SegmentPlan((20,), kz.star_1d7p(), 4, (10,))
+        assert plan.local_shape[0] > 20
+        np.testing.assert_allclose(
+            plan.run(x), run_stencil(x, kz.star_1d7p(), 4), atol=1e-9
+        )
+
+    @pytest.mark.parametrize("steps", [1, 3])
+    def test_matches_reference_2d(self, rng, steps):
+        x = rng.standard_normal((48, 40))
+        for k in (kz.heat_2d(), kz.box_2d9p()):
+            plan = SegmentPlan((48, 40), k, steps, (16, 20))
+            np.testing.assert_allclose(
+                plan.run(x), run_stencil(x, k, steps), atol=1e-9
+            )
+
+    def test_matches_reference_3d(self, rng):
+        x = rng.standard_normal((16, 20, 12))
+        for k in (kz.heat_3d(), kz.box_3d27p()):
+            plan = SegmentPlan((16, 20, 12), k, 2, (8, 10, 6))
+            np.testing.assert_allclose(
+                plan.run(x), run_stencil(x, k, 2), atol=1e-9
+            )
+
+    def test_split_fuse_stitch_pipeline_pieces(self, rng):
+        # Each stage individually behaves: split windows carry the halo'd
+        # input, stitching recovers exactly the valid interiors.
+        x = rng.standard_normal(64)
+        plan = SegmentPlan((64,), kz.heat_1d(), 1, (16,))
+        w = plan.split(x)
+        assert w.shape == (4, 18)
+        np.testing.assert_array_equal(w[0, 1:17], x[0:16])
+        np.testing.assert_array_equal(w[0, 0], x[-1])  # periodic halo wrap
+
+
+class TestNumericsZero:
+    @pytest.mark.parametrize("steps", [1, 2, 4])
+    def test_matches_reference_1d(self, rng, steps):
+        x = rng.standard_normal(160)
+        plan = SegmentPlan((160,), kz.heat_1d(), steps, (40,), boundary="zero")
+        np.testing.assert_allclose(
+            plan.run(x), run_stencil(x, kz.heat_1d(), steps, boundary="zero"),
+            atol=1e-9,
+        )
+
+    def test_matches_reference_2d(self, rng):
+        x = rng.standard_normal((40, 44))
+        plan = SegmentPlan((40, 44), kz.box_2d9p(), 3, (20, 22), boundary="zero")
+        np.testing.assert_allclose(
+            plan.run(x), run_stencil(x, kz.box_2d9p(), 3, boundary="zero"),
+            atol=1e-9,
+        )
+
+    def test_single_step_needs_no_band_fix(self, rng):
+        x = rng.standard_normal(64)
+        plan = SegmentPlan((64,), kz.star_1d5p(), 1, (16,), boundary="zero")
+        np.testing.assert_allclose(
+            plan.run(x), run_stencil(x, kz.star_1d5p(), 1, boundary="zero"),
+            atol=1e-10,
+        )
+
+
+class TestConvenienceWrapper:
+    def test_default_tiles(self, rng):
+        x = rng.standard_normal(300)
+        got = tailored_fft_stencil(x, kz.heat_1d(), steps=3)
+        np.testing.assert_allclose(got, run_stencil(x, kz.heat_1d(), 3), atol=1e-9)
+
+    def test_int_tile_broadcast(self, rng):
+        x = rng.standard_normal((32, 32))
+        got = tailored_fft_stencil(x, kz.heat_2d(), steps=2, tile=16)
+        np.testing.assert_allclose(got, run_stencil(x, kz.heat_2d(), 2), atol=1e-9)
+
+    @given(
+        n=st.integers(40, 200),
+        tile=st.integers(8, 64),
+        steps=st.integers(1, 6),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_property_any_tiling_is_exact(self, n, tile, steps):
+        rng = np.random.default_rng(n * 1000 + tile * 10 + steps)
+        x = rng.standard_normal(n)
+        k = kz.heat_1d(0.25)
+        got = tailored_fft_stencil(x, k, steps=steps, tile=min(tile, n))
+        np.testing.assert_allclose(got, run_stencil(x, k, steps), atol=1e-8)

@@ -1,0 +1,201 @@
+"""Tests for the two-step (wave-equation) extension (repro.core.wave)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels as kz
+from repro.core.wave import (
+    TwoStepStencil,
+    WaveFFTPlan,
+    run_two_step_reference,
+    wave_equation,
+)
+from repro.errors import KernelError, PlanError
+
+
+def _scheme_1d(c2: float = 0.25) -> TwoStepStencil:
+    return wave_equation(kz.heat_1d(0.25), courant2=c2)
+
+
+class TestConstruction:
+    def test_dim_mismatch(self):
+        with pytest.raises(KernelError):
+            TwoStepStencil(kz.heat_1d(), kz.heat_2d())
+
+    def test_wave_equation_courant_validation(self):
+        with pytest.raises(KernelError):
+            wave_equation(kz.heat_1d(), courant2=0.0)
+        with pytest.raises(KernelError):
+            wave_equation(kz.heat_1d(), courant2=1.5)
+
+    def test_wave_a_kernel_weights(self):
+        # A = 2*delta + c2*(K - delta): centre 2 + c2*(w0 - 1), taps c2*w.
+        s = wave_equation(kz.heat_1d(0.25), courant2=0.5)
+        wm = s.a.weight_map()
+        assert wm[(0,)] == pytest.approx(2 + 0.5 * (0.5 - 1.0))
+        assert wm[(1,)] == pytest.approx(0.5 * 0.25)
+        assert s.b.weight_map() == {(0,): -1.0}
+
+    def test_max_radius(self):
+        s = _scheme_1d()
+        assert s.max_radius == 1
+
+    def test_plan_validation(self):
+        with pytest.raises(PlanError):
+            WaveFFTPlan((32, 32), _scheme_1d())
+        with pytest.raises(PlanError):
+            WaveFFTPlan(32, _scheme_1d(), fused_steps=0)
+        with pytest.raises(PlanError):
+            WaveFFTPlan(32, _scheme_1d(), boundary="mirror")
+
+
+class TestCompanionSpectrum:
+    def test_zero_steps_is_identity(self):
+        m = _scheme_1d().companion_spectrum(16, 0)
+        np.testing.assert_allclose(m[..., 0, 0], 1.0)
+        np.testing.assert_allclose(m[..., 0, 1], 0.0)
+
+    def test_one_step_is_companion(self):
+        s = _scheme_1d()
+        m = s.companion_spectrum(16, 1)
+        np.testing.assert_allclose(m[..., 0, 0], s.a.spectrum(16), atol=1e-12)
+        np.testing.assert_allclose(m[..., 0, 1], s.b.spectrum(16), atol=1e-12)
+        np.testing.assert_allclose(m[..., 1, 0], 1.0)
+
+    @given(steps=st.integers(0, 20))
+    @settings(max_examples=12, deadline=None)
+    def test_power_composes(self, steps):
+        s = _scheme_1d()
+        m1 = s.companion_spectrum(12, 1)
+        expect = s.companion_spectrum(12, steps)
+        acc = np.zeros_like(m1)
+        acc[..., 0, 0] = acc[..., 1, 1] = 1.0
+        for _ in range(steps):
+            acc = np.einsum("...ij,...jk->...ik", m1, acc)
+        np.testing.assert_allclose(expect, acc, atol=1e-9)
+
+    def test_leapfrog_modes_are_neutrally_stable(self):
+        # For courant2 <= 1 the companion eigenvalues lie on the unit circle
+        # (energy-conserving leapfrog).
+        m = _scheme_1d(0.5).companion_spectrum(64, 1)
+        eig = np.linalg.eigvals(m)
+        np.testing.assert_allclose(np.abs(eig), 1.0, atol=1e-9)
+
+
+class TestReference:
+    def test_standing_wave_oscillates(self):
+        # A plane-wave initial condition under leapfrog returns near its
+        # starting state after a full period (neutral stability).
+        n = 64
+        s = _scheme_1d(0.5)
+        u0 = np.cos(2 * np.pi * np.arange(n) / n)
+        prev, curr = run_two_step_reference(u0, u0, s, 200)
+        assert np.max(np.abs(curr)) < 2.0  # bounded (no blow-up)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(PlanError):
+            run_two_step_reference(
+                rng.standard_normal(8), rng.standard_normal(9), _scheme_1d(), 1
+            )
+
+    def test_zero_steps(self, rng):
+        u0, u1 = rng.standard_normal((2, 16))
+        p, c = run_two_step_reference(u0, u1, _scheme_1d(), 0)
+        np.testing.assert_array_equal(p, u0)
+        np.testing.assert_array_equal(c, u1)
+
+
+class TestFusedEvolution:
+    @pytest.mark.parametrize("fused", [1, 4, 16])
+    def test_whole_domain_periodic_1d(self, rng, fused):
+        s = _scheme_1d()
+        u0, u1 = rng.standard_normal((2, 128))
+        plan = WaveFFTPlan(128, s, fused_steps=fused)
+        got = plan.run(u0, u1, 32)
+        want = run_two_step_reference(u0, u1, s, 32)
+        np.testing.assert_allclose(got[0], want[0], atol=1e-8)
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    def test_whole_domain_periodic_2d(self, rng):
+        s = wave_equation(kz.heat_2d(0.125), courant2=0.5)
+        u0, u1 = rng.standard_normal((2, 24, 28))
+        plan = WaveFFTPlan((24, 28), s, fused_steps=6)
+        got = plan.run(u0, u1, 12)
+        want = run_two_step_reference(u0, u1, s, 12)
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    def test_tiled_matches_whole_domain(self, rng):
+        s = _scheme_1d()
+        u0, u1 = rng.standard_normal((2, 160))
+        tiled = WaveFFTPlan(160, s, fused_steps=5, tile=40)
+        whole = WaveFFTPlan(160, s, fused_steps=5)
+        gp, gc = tiled.apply(u0, u1)
+        wp, wc = whole.apply(u0, u1)
+        np.testing.assert_allclose(gc, wc, atol=1e-9)
+        np.testing.assert_allclose(gp, wp, atol=1e-9)
+
+    def test_tiled_2d(self, rng):
+        s = wave_equation(kz.box_2d9p(), courant2=0.25)
+        u0, u1 = rng.standard_normal((2, 32, 40))
+        plan = WaveFFTPlan((32, 40), s, fused_steps=3, tile=(16, 20))
+        got = plan.run(u0, u1, 9)
+        want = run_two_step_reference(u0, u1, s, 9)
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    @pytest.mark.parametrize("fused", [1, 3, 8])
+    def test_zero_boundary(self, rng, fused):
+        s = _scheme_1d()
+        u0, u1 = rng.standard_normal((2, 140))
+        plan = WaveFFTPlan(140, s, fused_steps=fused, boundary="zero")
+        got = plan.run(u0, u1, 8)
+        want = run_two_step_reference(u0, u1, s, 8, boundary="zero")
+        np.testing.assert_allclose(got[0], want[0], atol=1e-8)
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    def test_zero_boundary_2d(self, rng):
+        s = wave_equation(kz.heat_2d(), courant2=0.5)
+        u0, u1 = rng.standard_normal((2, 36, 30))
+        plan = WaveFFTPlan((36, 30), s, fused_steps=4, boundary="zero")
+        got = plan.run(u0, u1, 8)
+        want = run_two_step_reference(u0, u1, s, 8, boundary="zero")
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    def test_residual_steps(self, rng):
+        s = _scheme_1d()
+        u0, u1 = rng.standard_normal((2, 96))
+        plan = WaveFFTPlan(96, s, fused_steps=7)
+        got = plan.run(u0, u1, 17)  # 2*7 + 3
+        want = run_two_step_reference(u0, u1, s, 17)
+        np.testing.assert_allclose(got[1], want[1], atol=1e-8)
+
+    def test_deep_fusion_beyond_first_order_cap(self, rng):
+        # The §4 extension generalises to order-2: fuse 64 steps in one shot.
+        s = _scheme_1d(0.5)
+        u0, u1 = rng.standard_normal((2, 256))
+        plan = WaveFFTPlan(256, s, fused_steps=64)
+        got = plan.run(u0, u1, 64)
+        want = run_two_step_reference(u0, u1, s, 64)
+        np.testing.assert_allclose(got[1], want[1], atol=5e-7)
+
+    def test_energy_boundedness_long_run(self, rng):
+        # Neutral leapfrog stability: the fused evolution must not inject
+        # energy over hundreds of steps.
+        s = _scheme_1d(0.5)
+        u0 = np.sin(2 * np.pi * np.arange(128) / 128)
+        plan = WaveFFTPlan(128, s, fused_steps=32)
+        _, curr = plan.run(u0, u0, 512)
+        assert np.max(np.abs(curr)) < 10.0
+
+    def test_state_shape_check(self, rng):
+        plan = WaveFFTPlan(64, _scheme_1d())
+        with pytest.raises(PlanError):
+            plan.apply(rng.standard_normal(63), rng.standard_normal(64))
+
+    def test_negative_total_steps(self, rng):
+        plan = WaveFFTPlan(64, _scheme_1d())
+        with pytest.raises(PlanError):
+            plan.run(rng.standard_normal(64), rng.standard_normal(64), -1)

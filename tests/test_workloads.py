@@ -1,0 +1,102 @@
+"""Unit tests for workload configs (Table 3) and field generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.workloads import (
+    TABLE3_SUITE,
+    checkerboard,
+    gaussian_bump,
+    hot_spots,
+    plane_wave,
+    random_field,
+    workload_by_name,
+)
+from repro.core.reference import apply_stencil
+from repro.core import kernels as kz
+
+
+class TestTable3:
+    def test_seven_rows(self):
+        assert len(TABLE3_SUITE) == 7
+
+    @pytest.mark.parametrize(
+        "name,points,size_label,steps",
+        [
+            ("Heat-1D", 3, "512M", 1000),
+            ("1D5P", 5, "512M", 1000),
+            ("1D7P", 7, "512M", 1000),
+            ("Heat-2D", 5, "16K x 16K", 1000),
+            ("Box-2D9P", 9, "16K x 16K", 1000),
+            ("Heat-3D", 7, "768 x 768 x 768", 1000),
+            ("Box-3D27P", 27, "768 x 768 x 768", 1000),
+        ],
+    )
+    def test_rows_match_paper(self, name, points, size_label, steps):
+        w = workload_by_name(name)
+        assert w.kernel_points == points
+        assert w.problem_size_label() == size_label
+        assert w.time_steps == steps
+
+    def test_validation_shapes_are_runnable(self):
+        for w in TABLE3_SUITE:
+            assert np.prod(w.validation_shape) < 1e6
+            assert len(w.validation_shape) == w.kernel.ndim
+
+    def test_unknown_workload(self):
+        with pytest.raises(PlanError):
+            workload_by_name("heat-4d")
+
+    def test_lookup_by_kernel_name(self):
+        assert workload_by_name("box-2d9p").name == "Box-2D9P"
+
+
+class TestGenerators:
+    def test_random_field_deterministic(self):
+        np.testing.assert_array_equal(random_field(64, seed=3), random_field(64, seed=3))
+
+    def test_gaussian_bump_peak_near_center(self):
+        f = gaussian_bump((33, 33), width=0.05)
+        assert np.unravel_index(f.argmax(), f.shape) == (16, 16)
+        assert f.max() <= 1.0
+
+    def test_gaussian_bump_bad_width(self):
+        with pytest.raises(PlanError):
+            gaussian_bump(16, width=0.0)
+
+    def test_plane_wave_is_stencil_eigenfunction(self):
+        # One periodic sweep scales a plane wave by the (real) frequency
+        # response of the symmetric kernel at its wavevector.
+        n, kvec = 64, [3]
+        wave = plane_wave(n, kvec)
+        k = kz.heat_1d(0.25)
+        response = k.spectrum(n)[kvec[0]].real
+        np.testing.assert_allclose(apply_stencil(wave, k), response * wave, atol=1e-10)
+
+    def test_plane_wave_dim_mismatch(self):
+        with pytest.raises(PlanError):
+            plane_wave((8, 8), wavevector=[1])
+
+    def test_hot_spots_count_and_amplitude(self):
+        f = hot_spots((32, 32), count=5, amplitude=10.0)
+        assert (f == 10.0).sum() == 5
+        assert (f == 0.0).sum() == 32 * 32 - 5
+
+    def test_hot_spots_validation(self):
+        with pytest.raises(PlanError):
+            hot_spots(16, count=0)
+
+    def test_checkerboard_alternates(self):
+        f = checkerboard((4, 4), period=1)
+        assert f[0, 0] == -1.0 and f[0, 1] == 1.0 and f[1, 0] == 1.0
+
+    def test_checkerboard_validation(self):
+        with pytest.raises(PlanError):
+            checkerboard(16, period=0)
+
+    def test_bad_shape(self):
+        with pytest.raises(PlanError):
+            random_field((0, 4))
