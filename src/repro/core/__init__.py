@@ -28,7 +28,7 @@ from .kernels import (
     star_1d7p,
 )
 from .pfa import PFAPlan, best_coprime_split, coprime_splits, diagonal_walk, pfa_dft, pfa_idft
-from .plan import FlashFFTMeasurement, FlashFFTStencil
+from .plan import FlashFFTMeasurement, FlashFFTStencil, plan_cache_clear, plan_cache_info
 from .reference import apply_stencil, run_stencil
 from .spectral import apply_fft_stencil, fft_stencil_periodic, fft_stencil_zero
 from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
@@ -69,6 +69,8 @@ __all__ = [
     "permuted_dft",
     "pfa_dft",
     "pfa_idft",
+    "plan_cache_clear",
+    "plan_cache_info",
     "run_stencil",
     "split_packed_spectrum",
     "star_1d5p",

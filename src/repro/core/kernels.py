@@ -23,7 +23,7 @@ The kernels named in Table 3 of the paper are provided as constructors:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import cached_property
+from functools import cached_property, lru_cache
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -32,6 +32,7 @@ from ..errors import KernelError
 
 __all__ = [
     "StencilKernel",
+    "compute_spectrum",
     "heat_1d",
     "star_1d5p",
     "star_1d7p",
@@ -156,7 +157,24 @@ class StencilKernel:
 
         ``apply == ifftn(fftn(x) * H).real`` for periodic boundaries.  The
         grid must be large enough to hold the kernel footprint per axis.
+
+        Results are cached per ``(kernel, shape)`` and returned as read-only
+        arrays — the spectrum is pure auxiliary data (§3.1), computed once
+        and reused by every plan/executor that needs it.
         """
+        return _cached_spectrum(self, self._canonical_shape(shape))
+
+    def temporal_spectrum(self, shape: int | Sequence[int], steps: int) -> np.ndarray:
+        """``H**steps`` — Equation (10): fusing ``steps`` time iterations.
+
+        Cached per ``(kernel, shape, steps)``; returns a read-only array.
+        """
+        if steps < 1:
+            raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
+        return _cached_temporal_spectrum(self, self._canonical_shape(shape), int(steps))
+
+    def _canonical_shape(self, shape: int | Sequence[int]) -> tuple[int, ...]:
+        """Validate and canonicalise a spectrum grid shape for this kernel."""
         if isinstance(shape, (int, np.integer)):
             shape = (int(shape),)
         shape = tuple(int(s) for s in shape)
@@ -169,19 +187,7 @@ class StencilKernel:
                 raise KernelError(
                     f"grid extent {s} smaller than kernel footprint {m}"
                 )
-        impulse = np.zeros(shape, dtype=np.float64)
-        for off, w in zip(self.offsets, self.weights):
-            # Stencil reads x[n + o]; as a circular convolution that puts
-            # weight w at index (-o) mod N, whose DFT is exp(+i 2 pi k.o/N).
-            idx = tuple((-oi) % s for oi, s in zip(off, shape))
-            impulse[idx] += w
-        return np.fft.fftn(impulse)
-
-    def temporal_spectrum(self, shape: int | Sequence[int], steps: int) -> np.ndarray:
-        """``H**steps`` — Equation (10): fusing ``steps`` time iterations."""
-        if steps < 1:
-            raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
-        return self.spectrum(shape) ** steps
+        return shape
 
     def fused(self, steps: int) -> "StencilKernel":
         """The dense kernel equivalent to ``steps`` repeated applications.
@@ -250,6 +256,38 @@ class StencilKernel:
             f"StencilKernel(name={self.name!r}, ndim={self.ndim}, "
             f"points={self.points}, radius={self.radius})"
         )
+
+
+def compute_spectrum(kernel: "StencilKernel", shape: tuple[int, ...]) -> np.ndarray:
+    """Uncached circular spectrum — the raw computation behind ``spectrum()``.
+
+    Kept public (and cache-free) so the preserved reference execution path in
+    :mod:`repro.core.tailoring` can measure the true cost of re-deriving
+    auxiliary data on every application.
+    """
+    impulse = np.zeros(shape, dtype=np.float64)
+    for off, w in zip(kernel.offsets, kernel.weights):
+        # Stencil reads x[n + o]; as a circular convolution that puts
+        # weight w at index (-o) mod N, whose DFT is exp(+i 2 pi k.o/N).
+        idx = tuple((-oi) % s for oi, s in zip(off, shape))
+        impulse[idx] += w
+    return np.fft.fftn(impulse)
+
+
+@lru_cache(maxsize=256)
+def _cached_spectrum(kernel: StencilKernel, shape: tuple[int, ...]) -> np.ndarray:
+    spec = compute_spectrum(kernel, shape)
+    spec.flags.writeable = False
+    return spec
+
+
+@lru_cache(maxsize=256)
+def _cached_temporal_spectrum(
+    kernel: StencilKernel, shape: tuple[int, ...], steps: int
+) -> np.ndarray:
+    spec = _cached_spectrum(kernel, shape) ** steps
+    spec.flags.writeable = False
+    return spec
 
 
 def _full_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -27,6 +27,7 @@ the bridge from laptop-scale numerics to the paper's 512M-point benchmarks.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Sequence
@@ -44,7 +45,87 @@ from .reference import Boundary
 from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
 from .tailoring import SegmentPlan
 
-__all__ = ["FlashFFTStencil", "FlashFFTMeasurement"]
+__all__ = [
+    "FlashFFTStencil",
+    "FlashFFTMeasurement",
+    "plan_cache_info",
+    "plan_cache_clear",
+]
+
+
+# --------------------------------------------------------------------------
+# Module-level plan cache
+#
+# `FlashFFTStencil.run()` needs a one-off plan for the remainder
+# `total_steps % fused_steps`; constructing it from scratch on every call
+# repeats auto-tuning, PFA factor search, and spectrum derivation.  Plans
+# are immutable once built (their caches are pure functions of the key
+# below), so they are shared through a small LRU keyed on everything that
+# shapes the numerics: grid, kernel, fusion depth, boundary, GPU model,
+# technique config, and the tile override.
+
+_PLAN_CACHE_MAX = 32
+_plan_cache: "OrderedDict[tuple, FlashFFTStencil]" = OrderedDict()
+_plan_cache_stats = {"hits": 0, "misses": 0}
+
+
+def _cached_plan(
+    grid_shape: tuple[int, ...],
+    kernel: StencilKernel,
+    fused_steps: int,
+    boundary: Boundary,
+    gpu: GPUSpec,
+    config: StreamlineConfig,
+    tile: tuple[int, ...] | None,
+) -> "FlashFFTStencil":
+    key = (grid_shape, kernel, fused_steps, boundary, gpu, config, tile)
+    plan = _plan_cache.get(key)
+    if plan is not None:
+        _plan_cache.move_to_end(key)
+        _plan_cache_stats["hits"] += 1
+        return plan
+    _plan_cache_stats["misses"] += 1
+    plan = FlashFFTStencil(
+        grid_shape,
+        kernel,
+        fused_steps=fused_steps,
+        boundary=boundary,
+        gpu=gpu,
+        config=config,
+        tile=tile,
+    )
+    _plan_cache[key] = plan
+    while len(_plan_cache) > _PLAN_CACHE_MAX:
+        _plan_cache.popitem(last=False)
+    return plan
+
+
+def plan_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the module-level plan cache."""
+    return {
+        "hits": _plan_cache_stats["hits"],
+        "misses": _plan_cache_stats["misses"],
+        "size": len(_plan_cache),
+        "maxsize": _PLAN_CACHE_MAX,
+    }
+
+
+def plan_cache_clear() -> None:
+    """Drop all cached plans and reset the counters."""
+    _plan_cache.clear()
+    _plan_cache_stats["hits"] = 0
+    _plan_cache_stats["misses"] = 0
+
+
+def _as_grid(grid: np.ndarray) -> np.ndarray:
+    """Coerce to C-contiguous float64 without copying when already both."""
+    if (
+        isinstance(grid, np.ndarray)
+        and grid.dtype == np.float64
+        and grid.flags.c_contiguous
+    ):
+        return grid
+    return np.ascontiguousarray(grid, dtype=np.float64)
 
 
 @dataclass(frozen=True)
@@ -111,6 +192,7 @@ class FlashFFTStencil:
         self.gpu = gpu
         self.config = config
         self.tuned: TunedSegment | None = None
+        user_tile = tile
 
         if tile is None:
             if kernel.ndim == 1:
@@ -136,6 +218,12 @@ class FlashFFTStencil:
         else:
             tile = tuple(int(t) for t in tile)
 
+        #: The user-requested tile, if any — forwarded to remainder tail
+        #: plans so an explicit tile does not silently fall back to
+        #: auto-tuning for the residual steps.
+        self._tile_override: tuple[int, ...] | None = (
+            tuple(tile) if user_tile is not None else None
+        )
         self.segments = SegmentPlan(
             grid_shape, kernel, self.fused_steps, tile, boundary
         )
@@ -182,9 +270,20 @@ class FlashFFTStencil:
 
     # ------------------------------------------------------------- execution
 
-    def apply(self, grid: np.ndarray, emulate_tcu: bool = False) -> np.ndarray:
-        """One fused application: advance the grid by ``fused_steps`` steps."""
-        grid = np.asarray(grid, dtype=np.float64)
+    def apply(
+        self,
+        grid: np.ndarray,
+        emulate_tcu: bool = False,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """One fused application: advance the grid by ``fused_steps`` steps.
+
+        ``out`` (optional, float64, grid-shaped, must not alias ``grid``
+        when the boundary is zero) receives the result in place so
+        steady-state loops can ping-pong two buffers with no per-step
+        output allocation.
+        """
+        grid = _as_grid(grid)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
         windows = self.segments.split(grid)
@@ -194,7 +293,7 @@ class FlashFFTStencil:
             fused = result.output
         else:
             fused = self.segments.fuse(windows)
-        out = self.segments.stitch(fused)
+        out = self.segments.stitch(fused, out=out)
         if self.boundary == "zero" and self.fused_steps > 1:
             out = self.segments.fix_zero_boundary_band(grid, out)
         return out
@@ -204,15 +303,64 @@ class FlashFFTStencil:
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
-        A remainder ``total_steps % fused_steps`` is handled by a one-off
-        plan with the residual fusion depth — the flexibility §4 argues for.
+        A remainder ``total_steps % fused_steps`` is handled by a plan with
+        the residual fusion depth — the flexibility §4 argues for — fetched
+        from the module-level plan cache (and inheriting this plan's config
+        and tile override) rather than rebuilt per call.  The steady-state
+        loop ping-pongs two output buffers, so per-application allocation is
+        limited to FFT workspace.
         """
+        if total_steps < 0:
+            raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        cur = _as_grid(grid)
+        full, rem = divmod(total_steps, self.fused_steps)
+        if full == 0 and rem == 0:
+            return cur.copy()
+        bufs = (
+            np.empty(self.grid_shape, dtype=np.float64),
+            np.empty(self.grid_shape, dtype=np.float64),
+        )
+        which = 0
+        for _ in range(full):
+            cur = self.apply(cur, emulate_tcu=emulate_tcu, out=bufs[which])
+            which ^= 1
+        if rem:
+            tail = _cached_plan(
+                self.grid_shape,
+                self.kernel,
+                rem,
+                self.segments.boundary,
+                self.gpu,
+                self.config,
+                self._tile_override,
+            )
+            cur = tail.apply(cur, emulate_tcu=emulate_tcu, out=bufs[which])
+        return cur
+
+    # ------------------------------------------------------- reference path
+
+    def apply_reference(self, grid: np.ndarray) -> np.ndarray:
+        """One fused application on the preserved slow path.
+
+        Re-derives every per-application artifact (index meshes, kernel
+        spectrum) and uses the complex-FFT fuse and Python-loop stitch —
+        the pre-fast-path behaviour benchmarks compare against.
+        """
+        grid = np.asarray(grid, dtype=np.float64)
+        if grid.shape != self.grid_shape:
+            raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
+        return self.segments.run_reference(grid)
+
+    def run_reference(self, grid: np.ndarray, total_steps: int) -> np.ndarray:
+        """``run`` on the preserved slow path: no plan cache, no buffer
+        reuse — the remainder tail plan is constructed from scratch on
+        every call, exactly as the engine behaved before the fast path."""
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
         out = np.asarray(grid, dtype=np.float64).copy()
         full, rem = divmod(total_steps, self.fused_steps)
         for _ in range(full):
-            out = self.apply(out, emulate_tcu=emulate_tcu)
+            out = self.apply_reference(out)
         if rem:
             tail = FlashFFTStencil(
                 self.grid_shape,
@@ -222,7 +370,7 @@ class FlashFFTStencil:
                 gpu=self.gpu,
                 config=self.config,
             )
-            out = tail.apply(out, emulate_tcu=emulate_tcu)
+            out = tail.apply_reference(out)
         return out
 
     # ------------------------------------------------------------- modelling

@@ -65,12 +65,18 @@ def fft_stencil_periodic(
         raise KernelError(f"steps must be >= 0, got {steps}")
     if steps == 0:
         return grid.copy()
-    spec = kernel.spectrum(grid.shape)
+    # Real input: run the transform as rfftn/irfftn against the half
+    # spectrum — half the FFT flops, identical numbers to ~1e-15.
+    half = grid.shape[-1] // 2 + 1
+    spec = kernel.spectrum(grid.shape)[..., :half]
+    axes = tuple(range(grid.ndim))
     if fused:
-        return np.real(np.fft.ifftn(np.fft.fftn(grid) * spec**steps))
+        return np.fft.irfftn(
+            np.fft.rfftn(grid) * spec**steps, s=grid.shape, axes=axes
+        )
     out = grid
     for _ in range(steps):
-        out = np.real(np.fft.ifftn(np.fft.fftn(out) * spec))
+        out = np.fft.irfftn(np.fft.rfftn(out) * spec, s=grid.shape, axes=axes)
     return out
 
 
@@ -88,9 +94,12 @@ def _linear_convolve_fused(
     conv_shape = tuple(
         next_fast_len(s + 2 * b) for s, b in zip(grid.shape, band)
     )
-    spec = kernel.spectrum(conv_shape) ** steps
+    half = conv_shape[-1] // 2 + 1
+    spec = kernel.spectrum(conv_shape)[..., :half] ** steps
     axes = tuple(range(grid.ndim))
-    out = np.real(np.fft.ifftn(np.fft.fftn(grid, s=conv_shape, axes=axes) * spec))
+    out = np.fft.irfftn(
+        np.fft.rfftn(grid, s=conv_shape, axes=axes) * spec, s=conv_shape, axes=axes
+    )
     # The stencil-read convention keeps index n aligned with input index n;
     # circular wrap on the padded shape cannot reach the first `s` entries
     # of any axis for offsets within the fused radius, so the valid region

@@ -184,6 +184,23 @@ class TCUStencilExecutor:
         self.f_mats = [dft_matrix(n) for n in transform_dims]
         self.if_mats = [idft_from_dft(f) for f in self.f_mats]
 
+        # ---- precomputed per-axis matmul geometry (fast-path artifact).
+        # The work array inside `run` always has shape
+        # (passes, [accum l0], *transform_dims); only the batch extent
+        # varies between calls.  The moveaxis permutation, its inverse,
+        # and the flattened column count per pass are therefore plan
+        # constants — hoist them out of the per-application loop.
+        n_work = 1 + (1 if self.accumulate else 0) + len(transform_dims)
+        fixed_elems = (local_shape[0] if self.accumulate else 1) * int(
+            np.prod(transform_dims)
+        )
+        self._axis_geom: list[tuple[int, tuple[int, ...], tuple[int, ...], int]] = []
+        for i, ax in enumerate(range(n_work - len(transform_dims), n_work)):
+            perm = (ax,) + tuple(d for d in range(n_work) if d != ax)
+            inv_perm = tuple(int(p) for p in np.argsort(perm))
+            fixed_cols = fixed_elems // transform_dims[i]
+            self._axis_geom.append((ax, perm, inv_perm, fixed_cols))
+
     # ----------------------------------------------------------------- run
 
     def run(self, segments: np.ndarray) -> StreamlineResult:
@@ -216,15 +233,13 @@ class TCUStencilExecutor:
         # ---- scatter the innermost axis (Diagonal Data Indexing).
         work = self.pfa.scatter(z) if self.pfa is not None else z
         # work shape: (passes, [accum axis], *transform_dims)
-        n_taxes = len(self.transform_dims)
-        taxes = tuple(range(work.ndim - n_taxes, work.ndim))
 
         # Stage the input fragments once from SMEM.
         pipe.emit("smem_ld", self._operand_tiles(work))
 
         # ---- forward transform: one dense DFT matmul per transform axis.
-        for ax, f in zip(taxes, self.f_mats):
-            work = self._axis_matmul(f, work, ax, stats, pipe, load_matrix=True)
+        for geom, f in zip(self._axis_geom, self.f_mats):
+            work = self._axis_matmul(f, work, geom, stats, pipe, load_matrix=True)
 
         # ---- apply the fused kernel in the (mixed) frequency domain.
         if self.accumulate:
@@ -247,7 +262,7 @@ class TCUStencilExecutor:
             pipe.emit("smem_ld", self._operand_tiles(work))
 
         # ---- inverse transform.
-        for ax, imat in zip(taxes, self.if_mats):
+        for geom, imat in zip(self._axis_geom, self.if_mats):
             # Squeezed kernels recompute iF = conj(F)/N in registers
             # (a negation per element); unsqueezed kernels load it.
             if cfg.squeeze_registers:
@@ -255,7 +270,7 @@ class TCUStencilExecutor:
                 load_matrix = False
             else:
                 load_matrix = True
-            work = self._axis_matmul(imat, work, ax, stats, pipe, load_matrix=load_matrix)
+            work = self._axis_matmul(imat, work, geom, stats, pipe, load_matrix=load_matrix)
 
         # ---- gather back to natural segment order and unpack the layers.
         out_z = self.pfa.gather(work) if self.pfa is not None else work
@@ -284,25 +299,29 @@ class TCUStencilExecutor:
         self,
         mat: np.ndarray,
         work: np.ndarray,
-        axis: int,
+        geom: tuple[int, tuple[int, ...], tuple[int, ...], int],
         stats: MMAStats,
         pipe: PipelineTrace,
         load_matrix: bool,
     ) -> np.ndarray:
-        """Left-multiply ``mat`` along ``axis`` as one big batched TCU product.
+        """Left-multiply ``mat`` along a transform axis as one batched TCU product.
 
         All passes and all remaining axes are flattened into the MMA ``n``
-        dimension — the segment-batching that keeps fragments dense.
+        dimension — the segment-batching that keeps fragments dense.  The
+        axis permutation / column geometry comes precomputed from
+        ``self._axis_geom``; MMA and pipeline accounting is unchanged.
         """
+        axis, perm, inv_perm, fixed_cols = geom
         n = work.shape[axis]
-        moved = np.moveaxis(work, axis, 0)
-        flat = moved.reshape(n, -1)
+        cols = work.shape[0] * fixed_cols
+        moved = work.transpose(perm)
+        flat = moved.reshape(n, cols)
         before = stats.mma_ops
         prod = complex_tc_matmul(mat, flat, stats, method=self.config.complex_method)
         new_mmas = stats.mma_ops - before
         pipe.emit("mma", new_mmas)
         if load_matrix:
-            mt, kt, _ = fragment_tile_counts(mat.shape[0], mat.shape[1], flat.shape[1])
+            mt, kt, _ = fragment_tile_counts(mat.shape[0], mat.shape[1], cols)
             pipe.emit("smem_ld", 2 * mt * kt)  # real+imag planes of the DFT matrix
         # Hand the result to the next product: register swizzle vs SMEM trip.
         c_tiles = self._c_tiles(prod)
@@ -312,8 +331,7 @@ class TCUStencilExecutor:
             pipe.emit("smem_st", c_tiles)
             pipe.emit("sync", 1)
             pipe.emit("smem_ld", c_tiles)
-        out = prod.reshape(moved.shape)
-        return np.moveaxis(out, 0, axis)
+        return prod.reshape(moved.shape).transpose(inv_perm)
 
     @staticmethod
     def _c_tiles(mat2d: np.ndarray) -> int:

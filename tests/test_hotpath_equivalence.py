@@ -1,0 +1,172 @@
+"""Fast-path vs preserved-reference-path equivalence (the hot-path engine).
+
+The cached-artifact engine (precomputed split/stitch index sets, cached
+spectra, rFFT fuse, buffer ping-pong, tail-plan cache) must be numerically
+interchangeable with the preserved reference path — ``<= 1e-12`` max-abs —
+for every Table-3 kernel, both boundaries, ragged last tiles, and both
+execution backends (batched NumPy FFT and the emulated TCU).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kernels import KERNEL_ZOO
+from repro.core.plan import FlashFFTStencil, _as_grid
+from repro.core.tailoring import SegmentPlan
+
+#: Per-dimensionality geometry: grids NOT divisible by the tile, so the
+#: ragged last tile is always exercised.
+GEOMETRY = {
+    1: {"grid": (100,), "tile": (32,), "steps": 2},
+    2: {"grid": (44, 36), "tile": (16, 16), "steps": 2},
+    3: {"grid": (18, 16, 14), "tile": (8, 8, 8), "steps": 1},
+}
+
+KERNELS = sorted(KERNEL_ZOO)
+
+
+def _case(name: str):
+    kernel = KERNEL_ZOO[name]
+    geo = GEOMETRY[kernel.ndim]
+    rng = np.random.default_rng(hash(name) % 2**32)
+    grid = rng.standard_normal(geo["grid"])
+    return kernel, geo, grid
+
+
+class TestSegmentPlanStages:
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("boundary", ["periodic", "zero"])
+    def test_split_matches_reference_exactly(self, name, boundary):
+        kernel, geo, grid = _case(name)
+        plan = SegmentPlan(geo["grid"], kernel, geo["steps"], geo["tile"], boundary)
+        np.testing.assert_array_equal(plan.split(grid), plan._split_reference(grid))
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_fuse_matches_reference(self, name):
+        kernel, geo, grid = _case(name)
+        plan = SegmentPlan(geo["grid"], kernel, geo["steps"], geo["tile"])
+        windows = plan.split(grid)
+        fast = plan.fuse(windows)
+        ref = plan._fuse_reference(windows)
+        assert np.max(np.abs(fast - ref)) <= 1e-12
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_stitch_matches_reference_exactly(self, name):
+        kernel, geo, grid = _case(name)
+        plan = SegmentPlan(geo["grid"], kernel, geo["steps"], geo["tile"])
+        fused = np.random.default_rng(3).standard_normal(
+            (plan.total_segments,) + plan.local_shape
+        )
+        np.testing.assert_array_equal(plan.stitch(fused), plan._stitch_reference(fused))
+
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("boundary", ["periodic", "zero"])
+    def test_run_matches_reference(self, name, boundary):
+        kernel, geo, grid = _case(name)
+        plan = SegmentPlan(geo["grid"], kernel, geo["steps"], geo["tile"], boundary)
+        assert np.max(np.abs(plan.run(grid) - plan.run_reference(grid))) <= 1e-12
+
+    def test_stitch_out_buffer_is_filled_and_returned(self):
+        kernel, geo, grid = _case("heat-1d")
+        plan = SegmentPlan(geo["grid"], kernel, geo["steps"], geo["tile"])
+        fused = plan.fuse(plan.split(grid))
+        buf = np.empty(plan.grid_shape, dtype=np.float64)
+        out = plan.stitch(fused, out=buf)
+        assert out is buf
+        np.testing.assert_array_equal(buf, plan._stitch_reference(fused))
+
+
+class TestFlashFFTStencilPaths:
+    @pytest.mark.parametrize("name", KERNELS)
+    @pytest.mark.parametrize("boundary", ["periodic", "zero"])
+    def test_apply_matches_reference(self, name, boundary):
+        kernel, geo, grid = _case(name)
+        plan = FlashFFTStencil(
+            geo["grid"], kernel, geo["steps"], boundary=boundary, tile=geo["tile"]
+        )
+        fast = plan.apply(grid)
+        ref = plan.apply_reference(grid)
+        assert np.max(np.abs(fast - ref)) <= 1e-12
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_run_with_remainder_matches_reference(self, name):
+        kernel, geo, grid = _case(name)
+        plan = FlashFFTStencil(geo["grid"], kernel, geo["steps"], tile=geo["tile"])
+        total = 2 * geo["steps"] + max(1, geo["steps"] - 1)
+        fast = plan.run(grid, total)
+        ref = plan.run_reference(grid, total)
+        assert np.max(np.abs(fast - ref)) <= 1e-12
+
+    @pytest.mark.parametrize("name", ["heat-1d", "heat-2d", "heat-3d"])
+    def test_emulated_tcu_matches_fast_path(self, name):
+        kernel, geo, grid = _case(name)
+        plan = FlashFFTStencil(geo["grid"], kernel, geo["steps"], tile=geo["tile"])
+        fast = plan.apply(grid, emulate_tcu=False)
+        emu = plan.apply(grid, emulate_tcu=True)
+        np.testing.assert_allclose(emu, fast, atol=1e-9)
+
+    def test_apply_out_buffer(self):
+        kernel, geo, grid = _case("heat-2d")
+        plan = FlashFFTStencil(geo["grid"], kernel, geo["steps"], tile=geo["tile"])
+        buf = np.empty(plan.grid_shape, dtype=np.float64)
+        out = plan.apply(grid, out=buf)
+        assert out is buf
+        np.testing.assert_array_equal(buf, plan.apply(grid))
+        assert np.max(np.abs(buf - plan.apply_reference(grid))) <= 1e-12
+
+    def test_apply_does_not_mutate_input(self):
+        kernel, geo, grid = _case("heat-1d")
+        plan = FlashFFTStencil(geo["grid"], kernel, geo["steps"], tile=geo["tile"])
+        before = grid.copy()
+        plan.apply(grid)
+        plan.run(grid, 5)
+        np.testing.assert_array_equal(grid, before)
+
+    def test_run_zero_steps_returns_independent_copy(self):
+        kernel, geo, grid = _case("heat-1d")
+        plan = FlashFFTStencil(geo["grid"], kernel, geo["steps"], tile=geo["tile"])
+        out = plan.run(grid, 0)
+        assert out is not grid
+        np.testing.assert_array_equal(out, grid)
+        out[0] = 123.0
+        assert grid[0] != 123.0
+
+
+class TestCopyAvoidance:
+    def test_as_grid_is_noop_for_contiguous_float64(self):
+        x = np.zeros(16, dtype=np.float64)
+        assert _as_grid(x) is x
+
+    def test_as_grid_coerces_other_dtypes(self):
+        x = np.zeros(16, dtype=np.float32)
+        y = _as_grid(x)
+        assert y.dtype == np.float64 and y.flags.c_contiguous
+
+    def test_as_grid_coerces_noncontiguous(self):
+        x = np.zeros((8, 8), dtype=np.float64)[:, ::2]
+        y = _as_grid(x)
+        assert y is not x and y.flags.c_contiguous
+
+
+class TestCachedArtifacts:
+    def test_spectrum_is_cached_and_readonly(self):
+        k = KERNEL_ZOO["heat-1d"]
+        a = k.spectrum(64)
+        b = k.spectrum(64)
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_temporal_spectrum_is_cached_and_readonly(self):
+        k = KERNEL_ZOO["heat-2d"]
+        a = k.temporal_spectrum((16, 16), 3)
+        b = k.temporal_spectrum((16, 16), 3)
+        assert a is b
+        assert not a.flags.writeable
+
+    def test_split_indices_computed_once(self):
+        plan = SegmentPlan((64,), KERNEL_ZOO["heat-1d"], 2, (16,))
+        assert plan._gather_flat is plan._gather_flat
+        assert plan._stitch_flat is plan._stitch_flat
+        assert not plan._gather_flat.flags.writeable

@@ -1,0 +1,135 @@
+"""Module-level plan cache behaviour (repro.core.plan).
+
+`FlashFFTStencil.run()` fetches its remainder tail plan from a bounded LRU
+keyed on everything that shapes the numerics.  These tests pin: cache hits
+on repeated runs, key discrimination (config / boundary / tile), the tile
+override actually reaching the tail plan, and the size bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.plan import (
+    _PLAN_CACHE_MAX,
+    FlashFFTStencil,
+    _plan_cache,
+    plan_cache_clear,
+    plan_cache_info,
+)
+from repro.core.reference import run_stencil
+from repro.core.streamline import StreamlineConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_cache():
+    plan_cache_clear()
+    yield
+    plan_cache_clear()
+
+
+class TestCacheHits:
+    def test_repeated_run_remainder_hits_cache(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        plan.run(x, 9)  # 2 full + remainder 1 -> tail plan miss
+        info = plan_cache_info()
+        assert info == {"hits": 0, "misses": 1, "size": 1, "maxsize": _PLAN_CACHE_MAX}
+        plan.run(x, 9)
+        plan.run(x, 13)  # same remainder 1 -> same tail plan
+        info = plan_cache_info()
+        assert info["hits"] == 2
+        assert info["misses"] == 1
+
+    def test_no_tail_plan_when_steps_divide(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        plan.run(x, 8)
+        assert plan_cache_info()["size"] == 0
+
+    def test_cached_tail_is_numerically_correct(self, rng):
+        x = rng.standard_normal(200)
+        plan = FlashFFTStencil(200, kz.star_1d5p(), fused_steps=5, tile=25)
+        for total in (7, 7, 12):  # repeat -> cached tail reused
+            got = plan.run(x, total)
+            np.testing.assert_allclose(
+                got, run_stencil(x, kz.star_1d5p(), total), atol=1e-8
+            )
+
+
+class TestCacheKeying:
+    def test_distinct_configs_get_distinct_entries(self, rng):
+        x = rng.standard_normal(128)
+        a = FlashFFTStencil(128, kz.heat_1d(), fused_steps=4, tile=16)
+        b = FlashFFTStencil(
+            128,
+            kz.heat_1d(),
+            fused_steps=4,
+            tile=16,
+            config=StreamlineConfig(double_layer=False),
+        )
+        a.run(x, 5)
+        b.run(x, 5)
+        info = plan_cache_info()
+        assert info["misses"] == 2 and info["size"] == 2
+
+    def test_distinct_boundaries_get_distinct_entries(self, rng):
+        x = rng.standard_normal(128)
+        for boundary in ("periodic", "zero"):
+            FlashFFTStencil(
+                128, kz.heat_1d(), fused_steps=4, tile=16, boundary=boundary
+            ).run(x, 5)
+        assert plan_cache_info()["size"] == 2
+
+    def test_distinct_tiles_get_distinct_entries(self, rng):
+        x = rng.standard_normal(128)
+        for tile in (16, 32):
+            FlashFFTStencil(128, kz.heat_1d(), fused_steps=4, tile=tile).run(x, 5)
+        assert plan_cache_info()["size"] == 2
+
+    def test_tile_override_reaches_tail_plan(self, rng):
+        x = rng.standard_normal(128)
+        plan = FlashFFTStencil(128, kz.heat_1d(), fused_steps=4, tile=16)
+        plan.run(x, 5)  # remainder 1 -> tail plan
+        (tail,) = _plan_cache.values()
+        assert tail.segments.valid_shape == (16,)
+        assert tail.fused_steps == 1
+        assert tail.config is plan.config
+
+    def test_autotuned_plan_does_not_pin_tail_tile(self, rng):
+        x = rng.standard_normal(2048)
+        plan = FlashFFTStencil(2048, kz.heat_1d(), fused_steps=6)
+        assert plan._tile_override is None
+        plan.run(x, 7)
+        (tail,) = _plan_cache.values()
+        assert tail.tuned is not None  # tail auto-tuned for its own depth
+
+
+class TestCacheBound:
+    def test_lru_eviction_caps_size(self, rng):
+        x = rng.standard_normal(96)
+        n_keys = _PLAN_CACHE_MAX + 8
+        for tile in range(8, 8 + n_keys):
+            FlashFFTStencil(96, kz.heat_1d(), fused_steps=3, tile=tile).run(x, 4)
+        info = plan_cache_info()
+        assert info["size"] == _PLAN_CACHE_MAX
+        assert info["misses"] == n_keys
+
+    def test_eviction_is_lru_order(self, rng):
+        x = rng.standard_normal(96)
+        plans = {
+            tile: FlashFFTStencil(96, kz.heat_1d(), fused_steps=3, tile=tile)
+            for tile in range(8, 8 + _PLAN_CACHE_MAX)
+        }
+        for p in plans.values():
+            p.run(x, 4)  # fill the cache
+        plans[8].run(x, 4)  # touch the oldest entry -> most recent
+        FlashFFTStencil(96, kz.heat_1d(), fused_steps=3, tile=95).run(x, 4)
+        # tile=8's tail survived (it was refreshed); tile=9's was evicted.
+        hits_before = plan_cache_info()["hits"]
+        plans[8].run(x, 4)
+        assert plan_cache_info()["hits"] == hits_before + 1
+        plans[9].run(x, 4)
+        assert plan_cache_info()["misses"] == _PLAN_CACHE_MAX + 2
