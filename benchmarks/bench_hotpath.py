@@ -7,6 +7,12 @@ plus per-call tail-plan reconstruction), writes ``BENCH_hotpath.json``
 (ns/point, GStencil/s, speedups), and **asserts** the fast path wins by a
 measured margin — a regression gate for the engine's hottest loop.
 
+Each workload additionally runs once with a :class:`repro.observability.
+Telemetry` sink attached: the per-stage breakdown (split/fuse/stitch/
+boundary_fix/tail), counter-vs-geometry cross-check, cache stats, and the
+telemetry-enabled overhead ratio land in the report and in a separate
+``BENCH_telemetry.json``.
+
 Run standalone::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py            # full gate
@@ -29,7 +35,9 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core.kernels import spectrum_cache_clear, spectrum_cache_info
 from repro.core.plan import FlashFFTStencil, plan_cache_clear, plan_cache_info
+from repro.observability import Telemetry
 from repro.workloads.configs import workload_by_name
 
 #: (workload name, tile override, fused steps) — one row per dimensionality
@@ -46,8 +54,14 @@ HOTPATH_CASES: tuple[tuple[str, tuple[int, ...] | None, int], ...] = (
 DEFAULT_CASES = ("Heat-1D", "Heat-2D", "Heat-3D")
 
 
-def _time_ms(fn, reps: int, warmup: int = 2) -> float:
-    """Median wall time of ``fn()`` in milliseconds."""
+def _time_ms(fn, reps: int, warmup: int = 5) -> float:
+    """Median wall time of ``fn()`` in milliseconds.
+
+    Warmup iterations let caches fill and the allocator settle before any
+    sample is taken; the median of ``reps`` samples (rather than a mean or
+    a single shot) keeps one scheduler hiccup from flipping the speedup
+    gate on shared CI runners.
+    """
     for _ in range(warmup):
         fn()
     samples = []
@@ -58,11 +72,69 @@ def _time_ms(fn, reps: int, warmup: int = 2) -> float:
     return statistics.median(samples)
 
 
+def _telemetry_section(
+    plan: FlashFFTStencil,
+    x,
+    total_steps: int,
+    fused_steps: int,
+    run_fast_ms: float,
+    reps: int,
+    warmup: int,
+) -> dict:
+    """One telemetry-enabled ``run()``: per-stage breakdown + overhead.
+
+    Returns the stage seconds (leaf spans), the span coverage of wall time,
+    the geometry cross-check (windows == segments x applications, with the
+    remainder tail counted at its own geometry), and the enabled-telemetry
+    median overhead vs the plain fast path.
+    """
+    tel = Telemetry()
+    t0 = time.perf_counter()
+    plan.run(x, total_steps, telemetry=tel)
+    wall_s = time.perf_counter() - t0
+    stage_s = tel.stage_seconds()
+    snap = tel.snapshot()
+
+    full, rem = divmod(total_steps, fused_steps)
+    windows_expected = full * plan.segments.total_segments
+    if rem:
+        from repro.core.plan import _cached_plan
+
+        tail = _cached_plan(
+            plan.grid_shape,
+            plan.kernel,
+            rem,
+            plan.segments.boundary,
+            plan.gpu,
+            plan.config,
+            plan._tile_override,
+        )
+        windows_expected += tail.segments.total_segments
+
+    run_telemetry_ms = _time_ms(
+        lambda: plan.run(x, total_steps, telemetry=Telemetry()), reps, warmup
+    )
+    return {
+        "wall_ms": round(wall_s * 1e3, 4),
+        "stage_ms": {k: round(v * 1e3, 4) for k, v in stage_s.items()},
+        "stage_coverage": round(sum(stage_s.values()) / wall_s, 4) if wall_s else 0.0,
+        "counters": snap["counters"],
+        "caches": snap["caches"],
+        "windows_expected": windows_expected,
+        "windows_counted": snap["counters"].get("windows", 0),
+        "geometry_ok": snap["counters"].get("windows", 0) == windows_expected,
+        "enabled_overhead": round(run_telemetry_ms / run_fast_ms, 4)
+        if run_fast_ms
+        else None,
+    }
+
+
 def bench_case(
     name: str,
     tile: tuple[int, ...] | None,
     fused_steps: int,
     reps: int,
+    warmup: int,
 ) -> dict:
     """Benchmark one workload: steady-state apply() and run()-with-remainder."""
     w = workload_by_name(name)
@@ -78,11 +150,11 @@ def bench_case(
     points = int(np.prod(shape))
     total_steps = 2 * fused_steps + 1  # exercises the remainder tail plan
 
-    apply_fast = _time_ms(lambda: plan.apply(x), reps)
-    apply_ref = _time_ms(lambda: plan.apply_reference(x), reps)
+    apply_fast = _time_ms(lambda: plan.apply(x), reps, warmup)
+    apply_ref = _time_ms(lambda: plan.apply_reference(x), reps, warmup)
     plan.run(x, total_steps)  # prime the tail-plan cache: steady state
-    run_fast = _time_ms(lambda: plan.run(x, total_steps), reps)
-    run_ref = _time_ms(lambda: plan.run_reference(x, total_steps), reps)
+    run_fast = _time_ms(lambda: plan.run(x, total_steps), reps, warmup)
+    run_ref = _time_ms(lambda: plan.run_reference(x, total_steps), reps, warmup)
 
     def _rates(ms: float, steps: int) -> dict:
         stencil_updates = points * steps
@@ -110,6 +182,9 @@ def bench_case(
             "reference": _rates(run_ref, total_steps),
             "speedup": round(run_ref / run_fast, 3),
         },
+        "telemetry": _telemetry_section(
+            plan, x, total_steps, fused_steps, run_fast, reps, warmup
+        ),
         "max_abs_error_vs_reference": err,
     }
 
@@ -131,19 +206,34 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the 2x 1-D/2-D steady-state target assertion",
     )
     ap.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="warmup iterations before each timed section (default: 2 quick, 5 full)",
+    )
+    ap.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_hotpath.json",
+    )
+    ap.add_argument(
+        "--telemetry-output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_telemetry.json",
     )
     args = ap.parse_args(argv)
     reps = args.reps if args.reps is not None else (3 if args.quick else 15)
     if reps < 1:
         ap.error(f"--reps must be >= 1, got {reps}")
+    warmup = args.warmup if args.warmup is not None else (2 if args.quick else 5)
+    if warmup < 0:
+        ap.error(f"--warmup must be >= 0, got {warmup}")
 
     plan_cache_clear()
+    spectrum_cache_clear()
     names = None if args.full else DEFAULT_CASES
     results = [
-        bench_case(name, tile, fused, reps)
+        bench_case(name, tile, fused, reps, warmup)
         for name, tile, fused in HOTPATH_CASES
         if names is None or name in names
     ]
@@ -151,11 +241,33 @@ def main(argv: list[str] | None = None) -> int:
     report = {
         "benchmark": "hotpath",
         "reps": reps,
+        "warmup": warmup,
         "min_speedup_floor": args.min_speedup,
         "plan_cache": plan_cache_info(),
+        "spectrum_cache": spectrum_cache_info(),
         "workloads": results,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    telemetry_report = {
+        "benchmark": "telemetry",
+        "reps": reps,
+        "warmup": warmup,
+        "plan_cache": plan_cache_info(),
+        "spectrum_cache": spectrum_cache_info(),
+        "workloads": [
+            {
+                "name": r["name"],
+                "ndim": r["ndim"],
+                "grid_shape": r["grid_shape"],
+                "fused_steps": r["fused_steps"],
+                "total_steps": r["run"]["total_steps"],
+                **r["telemetry"],
+            }
+            for r in results
+        ],
+    }
+    args.telemetry_output.write_text(json.dumps(telemetry_report, indent=2) + "\n")
 
     hdr = f"{'workload':<12}{'ndim':>5}{'apply x':>9}{'run x':>8}{'ns/pt':>9}{'GSt/s':>9}"
     print(hdr)
@@ -167,12 +279,19 @@ def main(argv: list[str] | None = None) -> int:
             f"{r['run']['fast']['gstencil_per_s']:>9.3f}"
         )
     print(f"wrote {args.output}")
+    print(f"wrote {args.telemetry_output}")
 
     failures = [
         f"{r['name']}: run speedup {r['run']['speedup']:.2f} < {args.min_speedup}"
         for r in results
         if r["run"]["speedup"] < args.min_speedup
     ]
+    failures.extend(
+        f"{r['name']}: telemetry windows counter {r['telemetry']['windows_counted']}"
+        f" != plan geometry {r['telemetry']['windows_expected']}"
+        for r in results
+        if not r["telemetry"]["geometry_ok"]
+    )
     if not args.no_target_check:
         # Acceptance target: >= 2x steady-state run() on at least one 1-D
         # and one 2-D Table-3 workload.

@@ -30,6 +30,8 @@ Subpackages
     Table-3 benchmark configurations and grid generators.
 ``repro.experiments``
     One runner per paper table/figure (``python -m repro.experiments all``).
+``repro.observability``
+    Pipeline telemetry: per-stage spans, counters, cache metrics.
 """
 
 from .core import (
@@ -66,6 +68,7 @@ from .errors import (
     SimulationError,
 )
 from .gpusim import A100, H100, GPUSpec, gpu_by_name
+from .observability import NULL_TELEMETRY, NullTelemetry, Telemetry, telemetry_to_json
 
 __version__ = "1.0.0"
 
@@ -82,6 +85,8 @@ __all__ = [
     "H100",
     "KERNEL_ZOO",
     "KernelError",
+    "NULL_TELEMETRY",
+    "NullTelemetry",
     "PFAError",
     "PFAPlan",
     "PlanError",
@@ -91,6 +96,8 @@ __all__ = [
     "StencilKernel",
     "StreamlineConfig",
     "TCUStencilExecutor",
+    "Telemetry",
+    "telemetry_to_json",
     "apply_fft_stencil",
     "apply_stencil",
     "box_2d9p",

@@ -24,6 +24,8 @@ from .kernels import (
     heat_2d,
     heat_3d,
     kernel_by_name,
+    spectrum_cache_clear,
+    spectrum_cache_info,
     star_1d5p,
     star_1d7p,
 )
@@ -72,6 +74,8 @@ __all__ = [
     "plan_cache_clear",
     "plan_cache_info",
     "run_stencil",
+    "spectrum_cache_clear",
+    "spectrum_cache_info",
     "split_packed_spectrum",
     "star_1d5p",
     "star_1d7p",

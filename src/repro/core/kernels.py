@@ -22,8 +22,10 @@ The kernels named in Table 3 of the paper are provided as constructors:
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from functools import cached_property, lru_cache
+from functools import cached_property
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np
@@ -33,6 +35,8 @@ from ..errors import KernelError
 __all__ = [
     "StencilKernel",
     "compute_spectrum",
+    "spectrum_cache_info",
+    "spectrum_cache_clear",
     "heat_1d",
     "star_1d5p",
     "star_1d7p",
@@ -274,20 +278,68 @@ def compute_spectrum(kernel: "StencilKernel", shape: tuple[int, ...]) -> np.ndar
     return np.fft.fftn(impulse)
 
 
-@lru_cache(maxsize=256)
+# --------------------------------------------------------------------------
+# Kernel-spectrum cache
+#
+# One bounded LRU keyed on (kernel, shape, steps); steps == 1 is the plain
+# circular spectrum.  Unlike the previous bare ``functools.lru_cache`` pair
+# this exposes hit/miss counters (telemetry feeds on them) and serialises
+# every mutation of the OrderedDict + stats dict behind a lock so concurrent
+# ``run()`` callers cannot corrupt the eviction order or the counters.
+
+_SPECTRUM_CACHE_MAX = 256
+_spectrum_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_spectrum_cache_stats = {"hits": 0, "misses": 0}
+_spectrum_cache_lock = threading.Lock()
+
+
 def _cached_spectrum(kernel: StencilKernel, shape: tuple[int, ...]) -> np.ndarray:
-    spec = compute_spectrum(kernel, shape)
-    spec.flags.writeable = False
-    return spec
+    return _cached_temporal_spectrum(kernel, shape, 1)
 
 
-@lru_cache(maxsize=256)
 def _cached_temporal_spectrum(
     kernel: StencilKernel, shape: tuple[int, ...], steps: int
 ) -> np.ndarray:
-    spec = _cached_spectrum(kernel, shape) ** steps
+    key = (kernel, shape, steps)
+    with _spectrum_cache_lock:
+        spec = _spectrum_cache.get(key)
+        if spec is not None:
+            _spectrum_cache.move_to_end(key)
+            _spectrum_cache_stats["hits"] += 1
+            return spec
+        _spectrum_cache_stats["misses"] += 1
+        base = _spectrum_cache.get((kernel, shape, 1))
+    # Derive outside the lock: FFTs are slow and the result is idempotent —
+    # a racing duplicate derivation just overwrites with an equal array.
+    if base is None:
+        base = compute_spectrum(kernel, shape)
+    spec = base ** steps if steps != 1 else np.asarray(base)
     spec.flags.writeable = False
+    with _spectrum_cache_lock:
+        _spectrum_cache[key] = spec
+        _spectrum_cache.move_to_end(key)
+        while len(_spectrum_cache) > _SPECTRUM_CACHE_MAX:
+            _spectrum_cache.popitem(last=False)
     return spec
+
+
+def spectrum_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters for the kernel-spectrum LRU."""
+    with _spectrum_cache_lock:
+        return {
+            "hits": _spectrum_cache_stats["hits"],
+            "misses": _spectrum_cache_stats["misses"],
+            "size": len(_spectrum_cache),
+            "maxsize": _SPECTRUM_CACHE_MAX,
+        }
+
+
+def spectrum_cache_clear() -> None:
+    """Drop all cached spectra and reset the counters."""
+    with _spectrum_cache_lock:
+        _spectrum_cache.clear()
+        _spectrum_cache_stats["hits"] = 0
+        _spectrum_cache_stats["misses"] = 0
 
 
 def _full_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:

@@ -27,6 +27,7 @@ the bridge from laptop-scale numerics to the paper's 512M-point benchmarks.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
@@ -39,8 +40,9 @@ from ..gpusim.occupancy import OccupancyReport, occupancy
 from ..gpusim.pipeline import overlap_throughput_factor
 from ..gpusim.roofline import KernelCost
 from ..gpusim.spec import A100, GPUSpec
+from ..observability import NULL_TELEMETRY, Telemetry
 from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
-from .kernels import StencilKernel
+from .kernels import StencilKernel, spectrum_cache_info
 from .reference import Boundary
 from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
 from .tailoring import SegmentPlan
@@ -67,6 +69,11 @@ __all__ = [
 _PLAN_CACHE_MAX = 32
 _plan_cache: "OrderedDict[tuple, FlashFFTStencil]" = OrderedDict()
 _plan_cache_stats = {"hits": 0, "misses": 0}
+#: Serialises every mutation of the OrderedDict + stats dict above so
+#: concurrent ``run()`` callers cannot corrupt the eviction order or the
+#: counters.  Plan *construction* happens outside the lock (it is slow);
+#: a racing duplicate build just yields to the entry that landed first.
+_plan_cache_lock = threading.Lock()
 
 
 def _cached_plan(
@@ -77,14 +84,18 @@ def _cached_plan(
     gpu: GPUSpec,
     config: StreamlineConfig,
     tile: tuple[int, ...] | None,
+    telemetry: Telemetry = NULL_TELEMETRY,
 ) -> "FlashFFTStencil":
     key = (grid_shape, kernel, fused_steps, boundary, gpu, config, tile)
-    plan = _plan_cache.get(key)
-    if plan is not None:
-        _plan_cache.move_to_end(key)
-        _plan_cache_stats["hits"] += 1
-        return plan
-    _plan_cache_stats["misses"] += 1
+    with _plan_cache_lock:
+        plan = _plan_cache.get(key)
+        if plan is not None:
+            _plan_cache.move_to_end(key)
+            _plan_cache_stats["hits"] += 1
+            telemetry.count("plan_cache_hits", 1)
+            return plan
+        _plan_cache_stats["misses"] += 1
+    telemetry.count("plan_cache_misses", 1)
     plan = FlashFFTStencil(
         grid_shape,
         kernel,
@@ -94,27 +105,37 @@ def _cached_plan(
         config=config,
         tile=tile,
     )
-    _plan_cache[key] = plan
-    while len(_plan_cache) > _PLAN_CACHE_MAX:
-        _plan_cache.popitem(last=False)
+    # Cache-owned plans are shared across callers and must never be
+    # mutated (see FlashFFTStencil.apply / run).
+    plan._cache_owned = True
+    with _plan_cache_lock:
+        racing = _plan_cache.get(key)
+        if racing is not None:
+            _plan_cache.move_to_end(key)
+            return racing
+        _plan_cache[key] = plan
+        while len(_plan_cache) > _PLAN_CACHE_MAX:
+            _plan_cache.popitem(last=False)
     return plan
 
 
 def plan_cache_info() -> dict[str, int]:
     """Hit/miss/size counters for the module-level plan cache."""
-    return {
-        "hits": _plan_cache_stats["hits"],
-        "misses": _plan_cache_stats["misses"],
-        "size": len(_plan_cache),
-        "maxsize": _PLAN_CACHE_MAX,
-    }
+    with _plan_cache_lock:
+        return {
+            "hits": _plan_cache_stats["hits"],
+            "misses": _plan_cache_stats["misses"],
+            "size": len(_plan_cache),
+            "maxsize": _PLAN_CACHE_MAX,
+        }
 
 
 def plan_cache_clear() -> None:
     """Drop all cached plans and reset the counters."""
-    _plan_cache.clear()
-    _plan_cache_stats["hits"] = 0
-    _plan_cache_stats["misses"] = 0
+    with _plan_cache_lock:
+        _plan_cache.clear()
+        _plan_cache_stats["hits"] = 0
+        _plan_cache_stats["misses"] = 0
 
 
 def _as_grid(grid: np.ndarray) -> np.ndarray:
@@ -235,6 +256,9 @@ class FlashFFTStencil:
         self._executor: TCUStencilExecutor | None = None
         self._pfa_split = pfa_split
         self._last_result: StreamlineResult | None = None
+        #: True for plans owned by the module-level cache: those are shared
+        #: across callers and must stay immutable after construction.
+        self._cache_owned = False
 
     # ------------------------------------------------------------ properties
 
@@ -249,6 +273,16 @@ class FlashFFTStencil:
     @property
     def local_shape(self) -> tuple[int, ...]:
         return self.segments.local_shape
+
+    @property
+    def last_streamline_result(self) -> StreamlineResult | None:
+        """The :class:`StreamlineResult` of the most recent emulated apply.
+
+        Covers every ``emulate_tcu=True`` execution this plan ran —
+        including the remainder tail of :meth:`run`, whose result is
+        propagated back here (the cache-shared tail plan itself is never
+        mutated)."""
+        return self._last_result
 
     @cached_property
     def executor(self) -> TCUStencilExecutor:
@@ -275,31 +309,82 @@ class FlashFFTStencil:
         grid: np.ndarray,
         emulate_tcu: bool = False,
         out: np.ndarray | None = None,
+        telemetry: Telemetry | None = None,
     ) -> np.ndarray:
         """One fused application: advance the grid by ``fused_steps`` steps.
 
         ``out`` (optional, float64, grid-shaped, must not alias ``grid``
-        when the boundary is zero) receives the result in place so
-        steady-state loops can ping-pong two buffers with no per-step
-        output allocation.
+        when the boundary is zero — enforced) receives the result in place
+        so steady-state loops can ping-pong two buffers with no per-step
+        output allocation.  ``telemetry`` (optional) receives per-stage
+        spans (``split``/``fuse``/``stitch``/``boundary_fix``) and windows
+        processed / points stitched / MMA counters; the default
+        :data:`~repro.observability.NULL_TELEMETRY` records nothing.
         """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        out, result = self._apply_impl(grid, emulate_tcu, out, tel)
+        self._store_result(result)
+        return out
+
+    def _apply_impl(
+        self,
+        grid: np.ndarray,
+        emulate_tcu: bool,
+        out: np.ndarray | None,
+        tel: Telemetry,
+    ) -> tuple[np.ndarray, StreamlineResult | None]:
+        """``apply`` body: returns the streamline result instead of storing
+        it, so callers holding cache-shared plans can propagate it without
+        mutating the shared plan."""
         grid = _as_grid(grid)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
-        windows = self.segments.split(grid)
+        if (
+            out is not None
+            and self.boundary == "zero"
+            and np.shares_memory(grid, out)
+        ):
+            # The zero-boundary band fix re-reads `grid` after `out` is
+            # written, so in-place application silently corrupts the band.
+            raise PlanError(
+                "out must not alias grid under the zero boundary: the "
+                "boundary-band fix reads grid after out is written"
+            )
+        with tel.span("split"):
+            windows = self.segments.split(grid)
+        result = None
         if emulate_tcu:
-            result = self.executor.run(windows)
-            self._last_result = result
+            with tel.span("fuse"):
+                result = self.executor.run(windows, telemetry=tel)
             fused = result.output
         else:
-            fused = self.segments.fuse(windows)
-        out = self.segments.stitch(fused, out=out)
+            with tel.span("fuse"):
+                fused = self.segments.fuse(windows)
+            if tel.enabled:
+                tel.count("fft_batches", 1)
+        with tel.span("stitch"):
+            out = self.segments.stitch(fused, out=out)
+        if tel.enabled:
+            tel.count("applications", 1)
+            tel.count("windows", self.segments.total_segments)
+            tel.count("points_stitched", int(np.prod(self.grid_shape)))
         if self.boundary == "zero" and self.fused_steps > 1:
-            out = self.segments.fix_zero_boundary_band(grid, out)
-        return out
+            with tel.span("boundary_fix"):
+                out = self.segments.fix_zero_boundary_band(grid, out)
+        return out, result
+
+    def _store_result(self, result: StreamlineResult | None) -> None:
+        """Remember an emulated-apply result — unless this plan is shared
+        through the module-level cache, which must never be mutated."""
+        if result is not None and not self._cache_owned:
+            self._last_result = result
 
     def run(
-        self, grid: np.ndarray, total_steps: int, emulate_tcu: bool = False
+        self,
+        grid: np.ndarray,
+        total_steps: int,
+        emulate_tcu: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
@@ -309,7 +394,12 @@ class FlashFFTStencil:
         and tile override) rather than rebuilt per call.  The steady-state
         loop ping-pongs two output buffers, so per-application allocation is
         limited to FFT workspace.
+
+        ``telemetry`` (optional) is threaded through every application (the
+        remainder runs under a ``tail`` span) and, at the end, receives the
+        current plan-cache and spectrum-cache statistics.
         """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
         cur = _as_grid(grid)
@@ -322,7 +412,8 @@ class FlashFFTStencil:
         )
         which = 0
         for _ in range(full):
-            cur = self.apply(cur, emulate_tcu=emulate_tcu, out=bufs[which])
+            cur, result = self._apply_impl(cur, emulate_tcu, bufs[which], tel)
+            self._store_result(result)
             which ^= 1
         if rem:
             tail = _cached_plan(
@@ -333,8 +424,16 @@ class FlashFFTStencil:
                 self.gpu,
                 self.config,
                 self._tile_override,
+                telemetry=tel,
             )
-            cur = tail.apply(cur, emulate_tcu=emulate_tcu, out=bufs[which])
+            # The tail plan is cache-shared: run its body without mutating
+            # it and keep the streamline result on *this* plan.
+            with tel.span("tail"):
+                cur, result = tail._apply_impl(cur, emulate_tcu, bufs[which], tel)
+            self._store_result(result)
+        if tel.enabled:
+            tel.record_cache("plan_cache", **plan_cache_info())
+            tel.record_cache("spectrum_cache", **spectrum_cache_info())
         return cur
 
     # ------------------------------------------------------- reference path

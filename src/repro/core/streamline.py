@@ -46,6 +46,7 @@ import numpy as np
 
 from ..errors import PlanError
 from ..gpusim.pipeline import PipelineTrace
+from ..observability import NULL_TELEMETRY, Telemetry
 from ..gpusim.tensorcore import MMAStats, complex_tc_matmul, fragment_tile_counts
 from .dft import dft_matrix, idft_from_dft
 from .pfa import PFAPlan, best_coprime_split, coprime_splits
@@ -203,8 +204,15 @@ class TCUStencilExecutor:
 
     # ----------------------------------------------------------------- run
 
-    def run(self, segments: np.ndarray) -> StreamlineResult:
-        """Apply the fused stencil to ``segments`` of shape ``(n, *local_shape)``."""
+    def run(
+        self, segments: np.ndarray, telemetry: Telemetry | None = None
+    ) -> StreamlineResult:
+        """Apply the fused stencil to ``segments`` of shape ``(n, *local_shape)``.
+
+        ``telemetry`` (optional) receives the emulated-TCU counters of this
+        apply: MMA ops/flops, fragment elements, passes, element-wise flops,
+        and the pipeline's busy/total cycles.
+        """
         segments = np.asarray(segments, dtype=np.float64)
         if segments.ndim != 1 + len(self.local_shape) or segments.shape[1:] != self.local_shape:
             raise PlanError(
@@ -283,6 +291,17 @@ class TCUStencilExecutor:
             out = out[:nseg]
         else:
             out = np.ascontiguousarray(out_z.real)
+
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if tel.enabled:
+            tel.count("tcu_applies", 1)
+            tel.count("tcu_passes", passes)
+            tel.count("mma_ops", stats.mma_ops)
+            tel.count("mma_flops", stats.flops)
+            tel.count("fragment_elements", stats.fragment_elements)
+            tel.count("ewise_flops", ewise_flops)
+            tel.count("pipeline_cycles", pipe.total_cycles)
+            tel.count("pipeline_mma_cycles", pipe.mma_cycles)
 
         return StreamlineResult(
             output=out,

@@ -36,6 +36,7 @@ from typing import Sequence
 import numpy as np
 
 from ..errors import PlanError
+from ..observability import NULL_TELEMETRY, Telemetry
 from .kernels import StencilKernel, compute_spectrum
 from .reference import Boundary, run_stencil
 
@@ -269,11 +270,32 @@ class SegmentPlan:
             out = np.empty(self.grid_shape, dtype=np.float64)
         return np.take(flat, self._stitch_flat, out=out)
 
-    def run(self, grid: np.ndarray) -> np.ndarray:
-        """Split -> fuse -> stitch; exact for both supported boundaries."""
-        out = self.stitch(self.fuse(self.split(grid)))
+    def run(
+        self, grid: np.ndarray, telemetry: Telemetry | None = None
+    ) -> np.ndarray:
+        """Split -> fuse -> stitch; exact for both supported boundaries.
+
+        ``telemetry`` (optional) receives one span per stage (``split`` /
+        ``fuse`` / ``stitch`` / ``boundary_fix``) plus window/point counters;
+        the default :data:`~repro.observability.NULL_TELEMETRY` records
+        nothing.
+        """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        with tel.span("split"):
+            windows = self.split(grid)
+        with tel.span("fuse"):
+            fused = self.fuse(windows)
+        with tel.span("stitch"):
+            out = self.stitch(fused)
+        if tel.enabled:
+            tel.count("windows", self.total_segments)
+            tel.count("fft_batches", 1)
+            tel.count("points_stitched", int(np.prod(self.grid_shape)))
         if self.boundary == "zero" and self.steps > 1:
-            out = self.fix_zero_boundary_band(np.asarray(grid, dtype=np.float64), out)
+            with tel.span("boundary_fix"):
+                out = self.fix_zero_boundary_band(
+                    np.asarray(grid, dtype=np.float64), out
+                )
         return out
 
     # --------------------------------------------- preserved reference path

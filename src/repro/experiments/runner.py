@@ -20,6 +20,7 @@ from .extensions import accuracy, scaling
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
 from .tables import table1, table2, table3, table4
+from .telemetry import telemetry
 from .validate import validate
 
 __all__ = ["EXPERIMENTS", "main"]
@@ -37,6 +38,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "future": future_gpus,
     "scaling": scaling,
     "accuracy": accuracy,
+    "telemetry": telemetry,
     "validate": validate,
 }
 

@@ -1,0 +1,132 @@
+"""Telemetry experiment: per-stage breakdown of real ``run()`` executions.
+
+``python -m repro.experiments telemetry`` runs a telemetry-enabled
+:meth:`FlashFFTStencil.run` on every Table-3 workload (validation scale,
+both execution paths for the 1-D rows), then prints the stage-span
+breakdown, the geometry-derived counters, and the cache hit rates — the
+host-side analogue of the paper's Figure-7 per-stage attribution and the
+Table-4 counter analysis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.kernels import spectrum_cache_clear, spectrum_cache_info
+from ..core.plan import FlashFFTStencil, plan_cache_clear, plan_cache_info
+from ..observability import Telemetry
+from ..workloads.configs import TABLE3_SUITE, Workload
+from ..workloads.generators import random_field
+from ._fmt import header, table
+
+__all__ = ["telemetry", "collect_run_telemetry"]
+
+#: Fusion depth / tile per dimensionality (validation-scale geometry).
+_SETTINGS = {1: (8, None), 2: (4, (32, 32)), 3: (2, (16, 16, 16))}
+
+
+def collect_run_telemetry(
+    workload: Workload, total_steps: int | None = None, emulate_tcu: bool = False
+) -> dict:
+    """Run one telemetry-enabled ``run()``; return snapshot + derived stats.
+
+    The returned dict is JSON-serializable: the telemetry snapshot, the
+    wall time, the fraction of wall time covered by leaf stage spans, and
+    the plan geometry the counters are checked against (``windows`` must
+    equal ``total_segments`` x applications).
+    """
+    shape = workload.validation_shape
+    fused_steps, tile = _SETTINGS[len(shape)]
+    if total_steps is None:
+        total_steps = 2 * fused_steps + 1  # exercises the remainder tail
+    plan = FlashFFTStencil(shape, workload.kernel, fused_steps=fused_steps, tile=tile)
+    grid = random_field(shape, seed=23)
+    plan.run(grid, total_steps, emulate_tcu=emulate_tcu)  # warm caches/tail
+
+    tel = Telemetry()
+    t0 = time.perf_counter()
+    plan.run(grid, total_steps, emulate_tcu=emulate_tcu, telemetry=tel)
+    wall_s = time.perf_counter() - t0
+
+    snap = tel.snapshot()
+    stage_s = tel.stage_seconds()
+    full, rem = divmod(total_steps, fused_steps)
+    applications = full + (1 if rem else 0)
+    # The remainder tail runs at its own fusion depth, so its plan (and
+    # window count) can differ from the main plan's — count it exactly.
+    windows_expected = full * plan.segments.total_segments
+    if rem:
+        from ..core.plan import _cached_plan
+
+        tail = _cached_plan(
+            plan.grid_shape,
+            workload.kernel,
+            rem,
+            plan.segments.boundary,
+            plan.gpu,
+            plan.config,
+            plan._tile_override,
+        )
+        windows_expected += tail.segments.total_segments
+    counters = snap["counters"]
+    return {
+        "workload": workload.name,
+        "kernel": workload.kernel_name,
+        "grid_shape": list(shape),
+        "fused_steps": fused_steps,
+        "total_steps": total_steps,
+        "emulate_tcu": emulate_tcu,
+        "wall_s": wall_s,
+        "stage_seconds": stage_s,
+        "stage_coverage": (sum(stage_s.values()) / wall_s) if wall_s > 0 else 0.0,
+        "applications": applications,
+        "segments_per_application": plan.segments.total_segments,
+        "windows_expected": windows_expected,
+        "windows_counted": counters.get("windows", 0),
+        "telemetry": snap,
+    }
+
+
+def telemetry() -> str:
+    """Per-stage breakdown + counters for every Table-3 workload."""
+    plan_cache_clear()
+    spectrum_cache_clear()
+    rows = []
+    for w in TABLE3_SUITE:
+        rec = collect_run_telemetry(w, emulate_tcu=False)
+        # Aggregate leaf spans by stage name: "tail/fuse" counts as "fuse".
+        stages: dict[str, float] = {}
+        for path, secs in rec["stage_seconds"].items():
+            name = path.split("/")[-1]
+            stages[name] = stages.get(name, 0.0) + secs
+        total = sum(stages.values()) or 1.0
+        rows.append(
+            [
+                w.name,
+                f"{rec['wall_s'] * 1e3:.2f}",
+                f"{100 * stages.get('split', 0.0) / total:.0f}%",
+                f"{100 * stages.get('fuse', 0.0) / total:.0f}%",
+                f"{100 * stages.get('stitch', 0.0) / total:.0f}%",
+                f"{100 * rec['stage_coverage']:.0f}%",
+                f"{rec['windows_counted']}",
+                "OK" if rec["windows_counted"] == rec["windows_expected"] else "MISMATCH",
+            ]
+        )
+    pc, sc = plan_cache_info(), spectrum_cache_info()
+    caches = (
+        f"plan cache: {pc['hits']} hits / {pc['misses']} misses (size {pc['size']})"
+        f"   spectrum cache: {sc['hits']} hits / {sc['misses']} misses"
+        f" (size {sc['size']})"
+    )
+    return (
+        header("Pipeline telemetry — per-stage run() breakdown (validation scale)")
+        + "\n"
+        + table(
+            rows,
+            ["Workload", "wall ms", "split", "fuse", "stitch", "coverage", "windows", "geometry"],
+        )
+        + "\n\n"
+        + caches
+    )

@@ -1,0 +1,16 @@
+"""Observability layer: per-stage spans, counters, and cache metrics.
+
+See :mod:`repro.observability.telemetry` for the model.  Typical use::
+
+    from repro import FlashFFTStencil, heat_1d
+    from repro.observability import Telemetry, telemetry_to_json
+
+    tel = Telemetry()
+    plan = FlashFFTStencil(4096, heat_1d(), fused_steps=8)
+    plan.run(grid, total_steps=64, telemetry=tel)
+    print(telemetry_to_json(tel))
+"""
+
+from .telemetry import NULL_TELEMETRY, NullTelemetry, Telemetry, telemetry_to_json
+
+__all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "telemetry_to_json"]

@@ -1,0 +1,219 @@
+"""Pipeline telemetry: nested timing spans, counters, cache metrics.
+
+The paper's evaluation is built on *per-stage* visibility: Figure 7
+attributes the 11x breakdown ladder to individual techniques, and Table 4
+ties achieved performance to pipeline/memory counters.  This module gives
+the host-side engine the same visibility: a :class:`Telemetry` sink records
+
+* **spans** — nested wall-time regions (``split`` / ``fuse`` / ``stitch`` /
+  ``boundary_fix`` / ``tail``), keyed by their slash-joined nesting path;
+* **counters** — monotonic event counts (FFT batches, windows processed,
+  points stitched, MMA ops, cache hits/misses);
+* **cache stats** — point-in-time snapshots of the module-level plan cache
+  and the kernel-spectrum cache.
+
+Everything is JSON-serializable via :meth:`Telemetry.snapshot` /
+:func:`telemetry_to_json`.  The default sink is :data:`NULL_TELEMETRY`, a
+:class:`NullTelemetry` whose every operation is a no-op — the hot path pays
+nothing when observability is off.
+
+A :class:`Telemetry` instance is guarded by a lock for counter/cache
+updates so concurrent ``run()`` callers can share one sink; span timing
+uses a per-thread stack so nesting paths stay coherent under threading.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Mapping
+
+__all__ = [
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "telemetry_to_json",
+]
+
+
+class _Span:
+    """Reusable context manager for one named region of a Telemetry sink."""
+
+    __slots__ = ("_telemetry", "_name", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str) -> None:
+        self._telemetry = telemetry
+        self._name = name
+        self._t0 = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._telemetry._push(self._name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        dt = time.perf_counter() - self._t0
+        self._telemetry._pop(self._name, dt)
+
+
+class _NullSpan:
+    """A do-nothing context manager shared by every NullTelemetry span."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Telemetry:
+    """A telemetry sink: nested spans, monotonic counters, cache metrics.
+
+    Spans nest: entering ``span("fuse")`` inside ``span("apply")`` records
+    under the path ``"apply/fuse"``.  Each path accumulates total seconds
+    and a call count.  Counters only ever increase.  ``record_cache``
+    overwrites the latest stats for a named cache (hits/misses/size are
+    already cumulative at the source).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._spans: dict[str, dict[str, float]] = {}
+        self._counters: dict[str, int] = {}
+        self._caches: dict[str, dict[str, int]] = {}
+
+    # ------------------------------------------------------------- spans
+
+    def span(self, name: str) -> _Span:
+        """Context manager timing one named region (nesting-aware)."""
+        return _Span(self, str(name))
+
+    def _stack(self) -> list[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, name: str) -> None:
+        self._stack().append(name)
+
+    def _pop(self, name: str, dt: float) -> None:
+        stack = self._stack()
+        path = "/".join(stack)
+        if stack and stack[-1] == name:
+            stack.pop()
+        with self._lock:
+            rec = self._spans.get(path)
+            if rec is None:
+                rec = self._spans[path] = {"total_s": 0.0, "calls": 0}
+            rec["total_s"] += dt
+            rec["calls"] += 1
+
+    # ----------------------------------------------------------- counters
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Add ``n`` (>= 0) to the monotonic counter ``name``."""
+        if n < 0:
+            raise ValueError(f"counters are monotonic; got increment {n}")
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(n)
+
+    def record_cache(self, name: str, **stats: int) -> None:
+        """Store the latest stats (hits/misses/size/...) for cache ``name``."""
+        with self._lock:
+            self._caches[str(name)] = {k: int(v) for k, v in stats.items()}
+
+    # ----------------------------------------------------------- export
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-serializable copy of everything recorded so far."""
+        with self._lock:
+            return {
+                "spans": {
+                    path: {"total_s": rec["total_s"], "calls": int(rec["calls"])}
+                    for path, rec in sorted(self._spans.items())
+                },
+                "counters": dict(sorted(self._counters.items())),
+                "caches": {k: dict(v) for k, v in sorted(self._caches.items())},
+            }
+
+    def stage_seconds(self) -> dict[str, float]:
+        """Leaf-stage wall time: seconds per span path that has no children."""
+        snap = self.snapshot()["spans"]
+        paths = list(snap)
+        out = {}
+        for path in paths:
+            prefix = path + "/"
+            if not any(p.startswith(prefix) for p in paths):
+                out[path] = snap[path]["total_s"]
+        return out
+
+    def reset(self) -> None:
+        """Drop all recorded spans, counters, and cache stats."""
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._caches.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            return (
+                f"Telemetry(spans={len(self._spans)}, "
+                f"counters={len(self._counters)}, caches={len(self._caches)})"
+            )
+
+
+class NullTelemetry(Telemetry):
+    """A telemetry sink that records nothing — the zero-overhead default.
+
+    Every operation is a no-op; ``span`` hands back one shared, stateless
+    context manager, so instrumented code paths cost a single attribute
+    lookup when observability is disabled.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:  # no lock, no dicts — nothing is stored
+        pass
+
+    def span(self, name: str) -> _NullSpan:  # type: ignore[override]
+        return _NULL_SPAN
+
+    def count(self, name: str, n: int = 1) -> None:
+        pass
+
+    def record_cache(self, name: str, **stats: int) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"spans": {}, "counters": {}, "caches": {}}
+
+    def stage_seconds(self) -> dict[str, float]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+
+#: Shared process-wide null sink; ``telemetry or NULL_TELEMETRY`` is the
+#: idiom instrumented call sites use to default to zero overhead.
+NULL_TELEMETRY = NullTelemetry()
+
+
+def telemetry_to_json(
+    telemetry: Telemetry | Mapping[str, Any], indent: int | None = 2
+) -> str:
+    """Serialize a telemetry sink (or a prior ``snapshot()``) to JSON."""
+    snap = (
+        telemetry.snapshot() if isinstance(telemetry, Telemetry) else dict(telemetry)
+    )
+    return json.dumps(snap, indent=indent, sort_keys=True)
