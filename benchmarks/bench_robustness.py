@@ -1,0 +1,246 @@
+"""Robustness benchmark: guard overhead gate + fault-injection recovery matrix.
+
+Two jobs, one report (``BENCH_robustness.json``):
+
+1. **Overhead gate** — times steady-state ``run()`` three ways on 1-D/2-D
+   workloads: plain fast path (``robustness=None``), guards-off robustness
+   config (must stay within noise of plain — the robust wrapper itself is
+   nearly free), and the default guard policy (input+output finiteness
+   checks; the acceptance bar is <= 10% overhead vs the plain fast path).
+2. **Recovery matrix** — replays every injected fault class through a
+   robustness-configured ``run()`` and asserts each one is recovered with
+   the telemetry counters proving which path ran (retry, checkpoint
+   restore, sentinel fallback) and a final answer matching the reference
+   stencil.  A wrong answer or an unproven recovery fails the benchmark.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py           # full gate
+    PYTHONPATH=src python benchmarks/bench_robustness.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kernels import spectrum_cache_clear
+from repro.core.plan import FlashFFTStencil, plan_cache_clear
+from repro.core.reference import run_stencil
+from repro.experiments.robustness import recovery_matrix
+from repro.observability import Telemetry
+from repro.robustness import GUARDS_OFF, GuardPolicy, RobustnessConfig
+from repro.workloads.configs import workload_by_name
+
+#: (workload name, tile override, fused steps) — overhead-gate cases.
+OVERHEAD_CASES: tuple[tuple[str, tuple[int, ...] | None, int], ...] = (
+    ("Heat-1D", None, 8),
+    ("Heat-2D", (32, 32), 4),
+)
+
+#: Acceptance ceiling for default-guard overhead vs the plain fast path.
+#: ``--quick`` uses a looser bar: 3-rep medians on a shared CI runner are
+#: noisy enough that a tight ratio would flap.
+OVERHEAD_CEILING = 1.10
+OVERHEAD_CEILING_QUICK = 1.35
+
+
+def _time_interleaved_ms(fns: dict, reps: int, warmup: int = 5) -> dict:
+    """Best-of wall time (ms) per labelled thunk, sampled round-robin.
+
+    Overhead *ratios* are what this benchmark gates, and a ratio of two
+    medians taken minutes apart folds machine drift into the answer.
+    Interleaving the variants every round exposes them to the same noise,
+    and best-of (rather than median) estimates the contention-free cost —
+    the quantity the guard-overhead ceiling is actually about.
+    """
+    for _ in range(warmup):
+        for fn in fns.values():
+            fn()
+    best = {k: float("inf") for k in fns}
+    for _ in range(reps):
+        for k, fn in fns.items():
+            t0 = time.perf_counter()
+            fn()
+            best[k] = min(best[k], (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def bench_overhead(
+    name: str,
+    tile: tuple[int, ...] | None,
+    fused_steps: int,
+    reps: int,
+    warmup: int,
+) -> dict:
+    """Time plain vs guards-off vs default-guard ``run()`` on one workload."""
+    w = workload_by_name(name)
+    shape = w.validation_shape
+    x = np.random.default_rng(0x5AFE).standard_normal(shape)
+    plan = FlashFFTStencil(shape, w.kernel, fused_steps=fused_steps, tile=tile)
+    total_steps = 2 * fused_steps + 1  # exercises the remainder tail plan
+
+    rb_off = RobustnessConfig(guards=GUARDS_OFF)
+    rb_default = RobustnessConfig(guards=GuardPolicy())
+
+    # Correctness gate before any timing: the guarded path must return the
+    # same answer as the plain one.
+    want = plan.run(x, total_steps)
+    err = float(np.max(np.abs(plan.run(x, total_steps, robustness=rb_default) - want)))
+    if err > 0.0:
+        raise AssertionError(f"{name}: guarded run deviates from plain by {err:.3e}")
+
+    times = _time_interleaved_ms(
+        {
+            "plain": lambda: plan.run(x, total_steps),
+            "guards_off": lambda: plan.run(x, total_steps, robustness=rb_off),
+            "guarded": lambda: plan.run(x, total_steps, robustness=rb_default),
+        },
+        reps,
+        warmup,
+    )
+    plain, guards_off, guarded = (
+        times["plain"], times["guards_off"], times["guarded"],
+    )
+    return {
+        "name": w.name,
+        "ndim": len(shape),
+        "grid_shape": list(shape),
+        "fused_steps": fused_steps,
+        "total_steps": total_steps,
+        "plain_ms": round(plain, 4),
+        "guards_off_ms": round(guards_off, 4),
+        "guarded_ms": round(guarded, 4),
+        "guards_off_overhead": round(guards_off / plain, 4) if plain else None,
+        "guard_overhead": round(guarded / plain, 4) if plain else None,
+    }
+
+
+def check_null_telemetry_counts_nothing() -> dict:
+    """Prove NullTelemetry + guards-off robust runs record nothing.
+
+    An enabled sink on the same configuration fills counters; the default
+    NULL_TELEMETRY sink must keep its snapshot empty — the zero-overhead
+    contract is structural (no state), not just fast.
+    """
+    from repro.observability import NULL_TELEMETRY
+
+    plan = FlashFFTStencil(512, workload_by_name("Heat-1D").kernel, fused_steps=4)
+    x = np.random.default_rng(7).standard_normal(512)
+    rb = RobustnessConfig(guards=GUARDS_OFF)
+    plan.run(x, 9, robustness=rb)  # default sink is NULL_TELEMETRY
+    null_snap = NULL_TELEMETRY.snapshot()
+
+    tel = Telemetry()
+    plan.run(x, 9, telemetry=tel, robustness=rb)
+    enabled_snap = tel.snapshot()
+    return {
+        "null_counters_empty": not null_snap["counters"],
+        "null_events_empty": not null_snap["events"],
+        "enabled_counters_nonempty": bool(enabled_snap["counters"]),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", help="CI smoke: fewer reps")
+    ap.add_argument(
+        "--reps", type=int, default=None, help="interleaved timing rounds"
+    )
+    ap.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="warmup iterations before each timed section (default: 2 quick, 5 full)",
+    )
+    ap.add_argument(
+        "--max-overhead",
+        type=float,
+        default=None,
+        help="override the default-guard overhead ceiling",
+    )
+    ap.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_robustness.json",
+    )
+    args = ap.parse_args(argv)
+    reps = args.reps if args.reps is not None else (10 if args.quick else 40)
+    if reps < 1:
+        ap.error(f"--reps must be >= 1, got {reps}")
+    warmup = args.warmup if args.warmup is not None else (2 if args.quick else 5)
+    if warmup < 0:
+        ap.error(f"--warmup must be >= 0, got {warmup}")
+    ceiling = args.max_overhead if args.max_overhead is not None else (
+        OVERHEAD_CEILING_QUICK if args.quick else OVERHEAD_CEILING
+    )
+
+    plan_cache_clear()
+    spectrum_cache_clear()
+    overhead = [
+        bench_overhead(name, tile, fused, reps, warmup)
+        for name, tile, fused in OVERHEAD_CASES
+    ]
+    null_check = check_null_telemetry_counts_nothing()
+
+    plan_cache_clear()
+    matrix = recovery_matrix()
+
+    report = {
+        "benchmark": "robustness",
+        "reps": reps,
+        "warmup": warmup,
+        "overhead_ceiling": ceiling,
+        "overhead": overhead,
+        "null_telemetry": null_check,
+        "recovery_matrix": matrix,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    hdr = f"{'workload':<12}{'plain ms':>10}{'off x':>8}{'guard x':>9}"
+    print(hdr)
+    print("-" * len(hdr))
+    for r in overhead:
+        print(
+            f"{r['name']:<12}{r['plain_ms']:>10.3f}"
+            f"{r['guards_off_overhead']:>8.3f}{r['guard_overhead']:>9.3f}"
+        )
+    print(f"{'scenario':<22}{'faults':>7}{'recovery path':>20}{'err':>10}")
+    print("-" * 59)
+    for rec in matrix:
+        print(
+            f"{rec['scenario']:<22}{rec['faults_injected']:>7}"
+            f"{'+'.join(rec['recovery_paths']) or '-':>20}"
+            f"{rec['max_abs_err']:>10.1e}"
+        )
+    print(f"wrote {args.output}")
+
+    failures = [
+        f"{r['name']}: default-guard overhead {r['guard_overhead']:.3f} > {ceiling}"
+        for r in overhead
+        if r["guard_overhead"] is not None and r["guard_overhead"] > ceiling
+    ]
+    if not all(null_check.values()):
+        failures.append(f"null-telemetry contract violated: {null_check}")
+    # Every fault class must be recovered AND leave counter evidence of the
+    # recovery path that ran (the clean row legitimately has none).
+    for rec in matrix:
+        if not rec["recovered"]:
+            failures.append(f"{rec['scenario']}: wrong answer ({rec['max_abs_err']:.1e})")
+        if rec["faults_injected"] and not rec["recovery_paths"]:
+            failures.append(f"{rec['scenario']}: recovery left no telemetry evidence")
+    if failures:
+        print("ROBUSTNESS REGRESSION:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("robustness gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,6 +32,9 @@ Subpackages
     One runner per paper table/figure (``python -m repro.experiments all``).
 ``repro.observability``
     Pipeline telemetry: per-stage spans, counters, cache metrics.
+``repro.robustness``
+    Fault-tolerant execution: numerical guards, drift sentinel with
+    graceful degradation, checkpoint/restart, fault injection.
 """
 
 from .core import (
@@ -61,7 +64,10 @@ from .core import (
 from .distributed import DistributedStencil, scaling_curve
 from .errors import (
     BoundaryError,
+    CheckpointError,
+    FaultInjected,
     KernelError,
+    NumericalError,
     PFAError,
     PlanError,
     ReproError,
@@ -69,6 +75,18 @@ from .errors import (
 )
 from .gpusim import A100, H100, GPUSpec, gpu_by_name
 from .observability import NULL_TELEMETRY, NullTelemetry, Telemetry, telemetry_to_json
+from .robustness import (
+    DiskCheckpointStore,
+    DriftSentinel,
+    FaultInjector,
+    FaultSpec,
+    GuardPolicy,
+    MemoryCheckpointStore,
+    NumericalWarning,
+    RetryPolicy,
+    RobustnessConfig,
+    SentinelConfig,
+)
 
 __version__ = "1.0.0"
 
@@ -80,18 +98,31 @@ __all__ = [
     "scaling_curve",
     "wave_equation",
     "BoundaryError",
+    "CheckpointError",
+    "DiskCheckpointStore",
+    "DriftSentinel",
+    "FaultInjected",
+    "FaultInjector",
+    "FaultSpec",
     "FlashFFTStencil",
     "GPUSpec",
+    "GuardPolicy",
     "H100",
     "KERNEL_ZOO",
     "KernelError",
+    "MemoryCheckpointStore",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "NumericalError",
+    "NumericalWarning",
     "PFAError",
     "PFAPlan",
     "PlanError",
     "ReproError",
+    "RetryPolicy",
+    "RobustnessConfig",
     "SegmentPlan",
+    "SentinelConfig",
     "SimulationError",
     "StencilKernel",
     "StreamlineConfig",

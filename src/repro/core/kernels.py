@@ -233,6 +233,11 @@ class StencilKernel:
         :meth:`dense` for symmetric-extent kernels.
         """
         box = np.asarray(box, dtype=np.float64)
+        if not np.all(np.isfinite(box)):
+            # NaN entries would otherwise be *silently dropped* by the
+            # |w| > tol comparison below (NaN compares False), yielding a
+            # valid-looking kernel with missing taps.
+            raise KernelError("dense kernel box contains non-finite weights")
         if center is None:
             if any(s % 2 == 0 for s in box.shape):
                 raise KernelError(
@@ -313,7 +318,19 @@ def _cached_temporal_spectrum(
     # a racing duplicate derivation just overwrites with an equal array.
     if base is None:
         base = compute_spectrum(kernel, shape)
-    spec = base ** steps if steps != 1 else np.asarray(base)
+    if steps != 1:
+        # |H| > 1 modes overflow for large fusion depths; surface a typed
+        # error instead of numpy's overflow RuntimeWarning plus Inf output.
+        with np.errstate(over="ignore", invalid="ignore"):
+            spec = base ** steps
+        if not np.all(np.isfinite(spec)):
+            raise KernelError(
+                f"temporal spectrum H**{steps} of kernel {kernel.name!r} on "
+                f"grid {shape} overflows: the fused update is unstable at "
+                "this fusion depth"
+            )
+    else:
+        spec = np.asarray(base)
     spec.flags.writeable = False
     with _spectrum_cache_lock:
         _spectrum_cache[key] = spec

@@ -28,24 +28,30 @@ the bridge from laptop-scale numerics to the paper's 512M-point benchmarks.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import cached_property
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..errors import PlanError
+from ..errors import FaultInjected, NumericalError, PlanError
 from ..gpusim.occupancy import OccupancyReport, occupancy
 from ..gpusim.pipeline import overlap_throughput_factor
 from ..gpusim.roofline import KernelCost
 from ..gpusim.spec import A100, GPUSpec
 from ..observability import NULL_TELEMETRY, Telemetry
+from ..robustness.guards import GuardPolicy, check_array
 from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
 from .kernels import StencilKernel, spectrum_cache_info
 from .reference import Boundary
 from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
 from .tailoring import SegmentPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..robustness.config import RobustnessConfig
+    from ..robustness.faults import FaultInjector
 
 __all__ = [
     "FlashFFTStencil",
@@ -310,21 +316,62 @@ class FlashFFTStencil:
         emulate_tcu: bool = False,
         out: np.ndarray | None = None,
         telemetry: Telemetry | None = None,
+        robustness: "RobustnessConfig | None" = None,
     ) -> np.ndarray:
         """One fused application: advance the grid by ``fused_steps`` steps.
 
-        ``out`` (optional, float64, grid-shaped, must not alias ``grid``
-        when the boundary is zero — enforced) receives the result in place
-        so steady-state loops can ping-pong two buffers with no per-step
-        output allocation.  ``telemetry`` (optional) receives per-stage
-        spans (``split``/``fuse``/``stitch``/``boundary_fix``) and windows
-        processed / points stitched / MMA counters; the default
+        ``out`` (optional, float64, grid-shaped) receives the result in
+        place so steady-state loops can ping-pong two buffers with no
+        per-step output allocation.  It must not alias ``grid`` under the
+        zero boundary, and must not *partially* overlap ``grid`` under any
+        boundary (both enforced); under the periodic boundary passing the
+        grid itself is supported.  ``telemetry`` (optional) receives
+        per-stage spans (``split``/``fuse``/``stitch``/``boundary_fix``)
+        and windows processed / points stitched / MMA counters; the default
         :data:`~repro.observability.NULL_TELEMETRY` records nothing.
+        ``robustness`` (optional) applies that config's numerical guards
+        (and fault injector) to this application; retry/sentinel/checkpoint
+        recovery is :meth:`run`-level.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
-        out, result = self._apply_impl(grid, emulate_tcu, out, tel)
+        guards = robustness.guards if robustness is not None else None
+        injector = robustness.injector if robustness is not None else None
+        out, result = self._apply_impl(
+            grid, emulate_tcu, out, tel, guards=guards, injector=injector
+        )
         self._store_result(result)
         return out
+
+    def _check_out_aliasing(self, grid: np.ndarray, out: np.ndarray) -> None:
+        """Reject ``out`` buffers the stage ordering cannot support.
+
+        Zero boundary: any sharing is fatal — the boundary-band fix
+        re-reads ``grid`` after ``out`` is written.  Other boundaries:
+        writing straight into the grid's own buffer is fine (the grid is
+        fully consumed by ``split`` before ``stitch`` writes), but a
+        *partially* overlapping view is an aliasing hazard we refuse to
+        reason about rather than silently depend on stage ordering.
+        """
+        if not np.shares_memory(grid, out):
+            return
+        if self.boundary == "zero":
+            # The zero-boundary band fix re-reads `grid` after `out` is
+            # written, so in-place application silently corrupts the band.
+            raise PlanError(
+                "out must not alias grid under the zero boundary: the "
+                "boundary-band fix reads grid after out is written"
+            )
+        same_view = (
+            out.shape == grid.shape
+            and out.strides == grid.strides
+            and out.__array_interface__["data"][0]
+            == grid.__array_interface__["data"][0]
+        )
+        if not same_view:
+            raise PlanError(
+                "out must not partially alias grid: pass the grid itself "
+                "(periodic boundary only) or a disjoint buffer"
+            )
 
     def _apply_impl(
         self,
@@ -332,26 +379,32 @@ class FlashFFTStencil:
         emulate_tcu: bool,
         out: np.ndarray | None,
         tel: Telemetry,
+        guards: "GuardPolicy | None" = None,
+        injector: "FaultInjector | None" = None,
+        apply_index: int = 0,
     ) -> tuple[np.ndarray, StreamlineResult | None]:
         """``apply`` body: returns the streamline result instead of storing
         it, so callers holding cache-shared plans can propagate it without
-        mutating the shared plan."""
+        mutating the shared plan.  ``guards``/``injector`` (robustness
+        layer) validate / sabotage the stage boundaries; both default to
+        absent so the plain hot path pays nothing.
+        """
         grid = _as_grid(grid)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
-        if (
-            out is not None
-            and self.boundary == "zero"
-            and np.shares_memory(grid, out)
-        ):
-            # The zero-boundary band fix re-reads `grid` after `out` is
-            # written, so in-place application silently corrupts the band.
-            raise PlanError(
-                "out must not alias grid under the zero boundary: the "
-                "boundary-band fix reads grid after out is written"
-            )
+        if out is not None:
+            self._check_out_aliasing(grid, out)
+        guarded = guards is not None and guards.enabled
+        if injector is not None:
+            grid = injector.visit("input", grid, apply_index, tel)
+        if guarded and guards.check_inputs:
+            grid = check_array(grid, "grid", guards, tel)
         with tel.span("split"):
             windows = self.segments.split(grid)
+        if injector is not None:
+            windows = injector.visit("split", windows, apply_index, tel)
+        if guarded and guards.check_stages:
+            windows = check_array(windows, "split windows", guards, tel)
         result = None
         if emulate_tcu:
             with tel.span("fuse"):
@@ -362,8 +415,14 @@ class FlashFFTStencil:
                 fused = self.segments.fuse(windows)
             if tel.enabled:
                 tel.count("fft_batches", 1)
+        if injector is not None:
+            fused = injector.visit("fuse", fused, apply_index, tel)
+        if guarded and guards.check_stages:
+            fused = check_array(fused, "fused windows", guards, tel)
         with tel.span("stitch"):
             out = self.segments.stitch(fused, out=out)
+        if injector is not None:
+            out = injector.visit("stitch", out, apply_index, tel)
         if tel.enabled:
             tel.count("applications", 1)
             tel.count("windows", self.segments.total_segments)
@@ -371,6 +430,10 @@ class FlashFFTStencil:
         if self.boundary == "zero" and self.fused_steps > 1:
             with tel.span("boundary_fix"):
                 out = self.segments.fix_zero_boundary_band(grid, out)
+        if injector is not None:
+            out = injector.visit("output", out, apply_index, tel)
+        if guarded and guards.check_outputs:
+            out = check_array(out, "output", guards, tel)
         return out, result
 
     def _store_result(self, result: StreamlineResult | None) -> None:
@@ -385,6 +448,7 @@ class FlashFFTStencil:
         total_steps: int,
         emulate_tcu: bool = False,
         telemetry: Telemetry | None = None,
+        robustness: "RobustnessConfig | None" = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
@@ -398,10 +462,21 @@ class FlashFFTStencil:
         ``telemetry`` (optional) is threaded through every application (the
         remainder runs under a ``tail`` span) and, at the end, receives the
         current plan-cache and spectrum-cache statistics.
+
+        ``robustness`` (optional) opts into the fault-tolerant execution
+        layer: numerical guards on grids and stage outputs, bounded
+        retry-with-backoff for transient stage faults, checkpoint/restart
+        of the time-stepping state, a drift sentinel that probes the
+        spectral result against the reference stencil and gracefully
+        degrades the run to the reference path on a tolerance breach, and
+        (for tests) fault injection.  ``robustness=None`` takes the plain
+        hot path — zero overhead.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        if robustness is not None:
+            return self._run_robust(grid, total_steps, emulate_tcu, tel, robustness)
         cur = _as_grid(grid)
         full, rem = divmod(total_steps, self.fused_steps)
         if full == 0 and rem == 0:
@@ -431,6 +506,191 @@ class FlashFFTStencil:
             with tel.span("tail"):
                 cur, result = tail._apply_impl(cur, emulate_tcu, bufs[which], tel)
             self._store_result(result)
+        if tel.enabled:
+            tel.record_cache("plan_cache", **plan_cache_info())
+            tel.record_cache("spectrum_cache", **spectrum_cache_info())
+        return cur
+
+    # -------------------------------------------------- fault-tolerant run
+
+    def _attempt_apply(
+        self,
+        plan: "FlashFFTStencil",
+        cur: np.ndarray,
+        emulate_tcu: bool,
+        buf: np.ndarray,
+        tel: Telemetry,
+        rb: "RobustnessConfig",
+        apply_index: int,
+        guards: "GuardPolicy | None",
+    ) -> tuple[np.ndarray, StreamlineResult | None]:
+        """One application under the retry policy.
+
+        Transient injected faults and output-side numerical violations
+        (the *input* was already validated, so a bad output means the
+        computation itself glitched or was sabotaged) are retried with
+        backoff; the last error propagates once the budget is spent.
+        """
+        retry = rb.retry
+        attempts = retry.attempts if retry is not None else 1
+        delay = retry.backoff_s if retry is not None else 0.0
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                if tel.enabled:
+                    tel.count("stage_retries", 1)
+                if delay:
+                    time.sleep(delay)
+                    delay *= retry.backoff_factor
+            try:
+                out, result = plan._apply_impl(
+                    cur,
+                    emulate_tcu,
+                    buf,
+                    tel,
+                    guards=guards,
+                    injector=rb.injector,
+                    apply_index=apply_index,
+                )
+                if attempt and tel.enabled:
+                    tel.count("retry_recoveries", 1)
+                    tel.event("retry_recovered", apply_index=apply_index)
+                return out, result
+            except FaultInjected as e:
+                if not e.transient:
+                    raise
+                last = e
+            except NumericalError as e:
+                last = e
+        assert last is not None
+        raise last
+
+    def _run_robust(
+        self,
+        grid: np.ndarray,
+        total_steps: int,
+        emulate_tcu: bool,
+        tel: Telemetry,
+        rb: "RobustnessConfig",
+    ) -> np.ndarray:
+        """``run`` body under a :class:`~repro.robustness.RobustnessConfig`.
+
+        Recovery escalation per application: bounded retry (transient
+        faults, bad outputs) → checkpoint restore (replay from the last
+        snapshot, bounded by ``max_restores``) → reference-path fallback
+        (when ``fallback_to_reference``) → typed error.  Sentinel breaches
+        skip straight to the reference path and degrade the rest of the
+        run — corrupt output is never returned silently.
+        """
+        from ..robustness.checkpoint import MemoryCheckpointStore
+        from ..robustness.sentinel import DriftSentinel
+
+        guards = rb.guards
+        cur = _as_grid(grid)
+        if guards is not None and guards.enabled and guards.check_inputs:
+            cur = check_array(cur, "grid", guards, tel)
+            # Each application's input is the previous application's
+            # already-validated output — re-checking it would double the
+            # guard cost for nothing.
+            guards = replace(guards, check_inputs=False)
+        full, rem = divmod(total_steps, self.fused_steps)
+        if full == 0 and rem == 0:
+            return cur.copy()
+
+        apps: list[tuple[FlashFFTStencil, int]] = [(self, self.fused_steps)] * full
+        if rem:
+            tail = _cached_plan(
+                self.grid_shape,
+                self.kernel,
+                rem,
+                self.segments.boundary,
+                self.gpu,
+                self.config,
+                self._tile_override,
+                telemetry=tel,
+            )
+            apps.append((tail, rem))
+
+        sentinel = DriftSentinel(rb.sentinel) if rb.sentinel is not None else None
+        store = rb.checkpoint_store
+        if store is None and rb.checkpoint_every:
+            store = MemoryCheckpointStore()
+        bufs = (
+            np.empty(self.grid_shape, dtype=np.float64),
+            np.empty(self.grid_shape, dtype=np.float64),
+        )
+        which = 0
+        degraded = False
+        restores = 0
+        i = 0
+        while i < len(apps):
+            plan_i, depth_i = apps[i]
+            if store is not None and rb.checkpoint_every and i % rb.checkpoint_every == 0:
+                store.save(i, cur)
+                if tel.enabled:
+                    tel.count("checkpoint_saves", 1)
+            if degraded:
+                with tel.span("reference_fallback"):
+                    nxt = plan_i.apply_reference(cur)
+                if tel.enabled:
+                    tel.count("reference_fallback_applies", 1)
+                cur = nxt
+                i += 1
+                continue
+            try:
+                nxt, result = self._attempt_apply(
+                    plan_i, cur, emulate_tcu, bufs[which], tel, rb, i, guards
+                )
+            except (FaultInjected, NumericalError) as e:
+                if (
+                    isinstance(e, FaultInjected)
+                    and store is not None
+                    and len(store)
+                    and restores < rb.max_restores
+                ):
+                    i, cur = store.latest()
+                    restores += 1
+                    if tel.enabled:
+                        tel.count("checkpoint_restores", 1)
+                        tel.event("checkpoint_restored", apply_index=i)
+                    continue
+                if not rb.fallback_to_reference:
+                    raise
+                with tel.span("reference_fallback"):
+                    nxt = plan_i.apply_reference(cur)
+                if tel.enabled:
+                    tel.count("reference_fallback_applies", 1)
+                    tel.event(
+                        "reference_fallback",
+                        apply_index=i,
+                        cause=type(e).__name__,
+                    )
+                cur = nxt
+                which ^= 1
+                i += 1
+                continue
+            self._store_result(result)
+            if sentinel is not None and sentinel.due(i):
+                if tel.enabled:
+                    tel.count("sentinel_probes", 1)
+                with tel.span("sentinel"):
+                    drift = sentinel.drift(
+                        cur, nxt, plan_i.kernel, depth_i, plan_i.boundary
+                    )
+                if drift > rb.sentinel.tolerance:
+                    if tel.enabled:
+                        tel.count("sentinel_breaches", 1)
+                        tel.count("sentinel_fallbacks", 1)
+                        tel.count("reference_fallback_applies", 1)
+                        tel.event(
+                            "sentinel_breach", apply_index=i, drift=drift
+                        )
+                    with tel.span("reference_fallback"):
+                        nxt = plan_i.apply_reference(cur)
+                    degraded = True
+            cur = nxt
+            which ^= 1
+            i += 1
         if tel.enabled:
             tel.record_cache("plan_cache", **plan_cache_info())
             tel.record_cache("spectrum_cache", **spectrum_cache_info())

@@ -44,9 +44,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import PlanError
+from ..errors import NumericalError, PlanError
 from ..gpusim.pipeline import PipelineTrace
 from ..observability import NULL_TELEMETRY, Telemetry
+from ..robustness.guards import GuardPolicy, check_array
 from ..gpusim.tensorcore import MMAStats, complex_tc_matmul, fragment_tile_counts
 from .dft import dft_matrix, idft_from_dft
 from .pfa import PFAPlan, best_coprime_split, coprime_splits
@@ -123,6 +124,13 @@ class TCUStencilExecutor:
         if spectrum.shape != local_shape:
             raise PlanError(
                 f"spectrum shape {spectrum.shape} != window shape {local_shape}"
+            )
+        if not np.all(np.isfinite(spectrum)):
+            # A NaN/Inf spectrum poisons every window it multiplies; refuse
+            # to build an executor that can only produce corrupt output.
+            raise NumericalError(
+                "fused kernel spectrum contains non-finite values; the "
+                "kernel weights or the temporal fusion depth overflow"
             )
         if not 1 <= len(local_shape) <= 3:
             raise PlanError(
@@ -205,13 +213,18 @@ class TCUStencilExecutor:
     # ----------------------------------------------------------------- run
 
     def run(
-        self, segments: np.ndarray, telemetry: Telemetry | None = None
+        self,
+        segments: np.ndarray,
+        telemetry: Telemetry | None = None,
+        guards: GuardPolicy | None = None,
     ) -> StreamlineResult:
         """Apply the fused stencil to ``segments`` of shape ``(n, *local_shape)``.
 
         ``telemetry`` (optional) receives the emulated-TCU counters of this
         apply: MMA ops/flops, fragment elements, passes, element-wise flops,
-        and the pipeline's busy/total cycles.
+        and the pipeline's busy/total cycles.  ``guards`` (optional)
+        applies a numerical :class:`~repro.robustness.GuardPolicy` to the
+        segment batch and the emulated output.
         """
         segments = np.asarray(segments, dtype=np.float64)
         if segments.ndim != 1 + len(self.local_shape) or segments.shape[1:] != self.local_shape:
@@ -221,6 +234,10 @@ class TCUStencilExecutor:
         nseg = segments.shape[0]
         if nseg == 0:
             raise PlanError("need at least one segment")
+        guarded = guards is not None and guards.enabled
+        tel_guard = telemetry if telemetry is not None else NULL_TELEMETRY
+        if guarded and guards.check_inputs:
+            segments = check_array(segments, "segments", guards, tel_guard)
 
         stats = MMAStats()
         pipe = PipelineTrace()
@@ -291,6 +308,8 @@ class TCUStencilExecutor:
             out = out[:nseg]
         else:
             out = np.ascontiguousarray(out_z.real)
+        if guarded and guards.check_outputs:
+            out = check_array(out, "tcu output", guards, tel_guard)
 
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if tel.enabled:

@@ -37,6 +37,7 @@ import numpy as np
 
 from ..errors import PlanError
 from ..observability import NULL_TELEMETRY, Telemetry
+from ..robustness.guards import GuardPolicy, check_array
 from .kernels import StencilKernel, compute_spectrum
 from .reference import Boundary, run_stencil
 
@@ -268,19 +269,34 @@ class SegmentPlan:
         flat = np.ascontiguousarray(fused, dtype=np.float64).reshape(-1)
         if out is None:
             out = np.empty(self.grid_shape, dtype=np.float64)
+        elif np.shares_memory(flat, out):
+            # `flat` is a view of `fused` whenever `fused` is already
+            # contiguous float64 — writing `out` would corrupt the source
+            # mid-gather.
+            raise PlanError("stitch out must not alias the fused windows")
         return np.take(flat, self._stitch_flat, out=out)
 
     def run(
-        self, grid: np.ndarray, telemetry: Telemetry | None = None
+        self,
+        grid: np.ndarray,
+        telemetry: Telemetry | None = None,
+        guards: GuardPolicy | None = None,
     ) -> np.ndarray:
         """Split -> fuse -> stitch; exact for both supported boundaries.
 
         ``telemetry`` (optional) receives one span per stage (``split`` /
         ``fuse`` / ``stitch`` / ``boundary_fix``) plus window/point counters;
         the default :data:`~repro.observability.NULL_TELEMETRY` records
-        nothing.
+        nothing.  ``guards`` (optional) applies a numerical
+        :class:`~repro.robustness.GuardPolicy` to the input grid and the
+        stitched output.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        guarded = guards is not None and guards.enabled
+        if guarded and guards.check_inputs:
+            grid = check_array(
+                np.asarray(grid, dtype=np.float64), "grid", guards, tel
+            )
         with tel.span("split"):
             windows = self.split(grid)
         with tel.span("fuse"):
@@ -296,6 +312,8 @@ class SegmentPlan:
                 out = self.fix_zero_boundary_band(
                     np.asarray(grid, dtype=np.float64), out
                 )
+        if guarded and guards.check_outputs:
+            out = check_array(out, "output", guards, tel)
         return out
 
     # --------------------------------------------- preserved reference path

@@ -15,6 +15,9 @@ __all__ = [
     "PFAError",
     "SimulationError",
     "BoundaryError",
+    "NumericalError",
+    "CheckpointError",
+    "FaultInjected",
 ]
 
 
@@ -40,3 +43,25 @@ class SimulationError(ReproError, RuntimeError):
 
 class BoundaryError(ReproError, ValueError):
     """Unsupported or inconsistent boundary-condition request."""
+
+
+class NumericalError(ReproError, ArithmeticError):
+    """A numerical guard tripped: non-finite or out-of-range values in a
+    grid, kernel spectrum, or pipeline stage output."""
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint could not be saved, found, or restored."""
+
+
+class FaultInjected(ReproError, RuntimeError):
+    """An artificial fault planted by the fault-injection harness.
+
+    ``transient`` marks faults that model recoverable glitches (a retry of
+    the same stage may succeed); persistent faults corrupt data instead of
+    raising and are surfaced by the numerical guards or the drift sentinel.
+    """
+
+    def __init__(self, message: str, *, transient: bool = False) -> None:
+        super().__init__(message)
+        self.transient = bool(transient)

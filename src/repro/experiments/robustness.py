@@ -1,0 +1,133 @@
+"""Robustness experiment: the fault-injection recovery matrix.
+
+``python -m repro.experiments robustness`` drives a robustness-configured
+:meth:`FlashFFTStencil.run` through every injected fault class and prints,
+per scenario, which recovery path fired (retry, checkpoint restore, or
+reference fallback), the telemetry counters proving it, and the final
+error against the reference stencil.  The acceptance bar is the tentpole's:
+every fault is recovered or surfaced as a typed error — never a silent
+wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.kernels import heat_1d
+from ..core.plan import FlashFFTStencil, plan_cache_clear
+from ..core.reference import run_stencil
+from ..observability import Telemetry
+from ..robustness import (
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+    RobustnessConfig,
+    SentinelConfig,
+)
+from ._fmt import header, table
+
+__all__ = ["robustness", "recovery_matrix"]
+
+_N, _TOTAL, _FUSED = 1024, 9, 3
+
+#: (label, fault specs, config overrides) — one row per recovery path.
+_SCENARIOS: "list[tuple[str, list[FaultSpec], dict]]" = [
+    ("clean", [], {}),
+    (
+        "nan poison @fuse",
+        [FaultSpec(stage="fuse", kind="nan", apply_index=1)],
+        {},
+    ),
+    (
+        "transient x2 @split",
+        [FaultSpec(stage="split", kind="transient", apply_index=0, count=2)],
+        {},
+    ),
+    (
+        "transient x4 @split",
+        [FaultSpec(stage="split", kind="transient", apply_index=1, count=4)],
+        {"checkpoint_every": 1},
+    ),
+    (
+        "corrupt @stitch",
+        [FaultSpec(stage="stitch", kind="corrupt", apply_index=0, value=1.0)],
+        {"sentinel": SentinelConfig(every=1, tolerance=1e-8)},
+    ),
+    (
+        "persistent nan @fuse",
+        [FaultSpec(stage="fuse", kind="nan", apply_index=1, count=99)],
+        {},
+    ),
+]
+
+_PATH_COUNTERS = (
+    ("retry", "retry_recoveries"),
+    ("restore", "checkpoint_restores"),
+    ("sentinel", "sentinel_fallbacks"),
+    ("fallback", "reference_fallback_applies"),
+)
+
+
+def recovery_matrix() -> "list[dict]":
+    """Run every fault scenario; return one JSON-friendly record per row."""
+    rng = np.random.default_rng(11)
+    grid = rng.standard_normal(_N)
+    want = run_stencil(grid, heat_1d(), _TOTAL)
+    records = []
+    for label, faults, overrides in _SCENARIOS:
+        plan_cache_clear()
+        plan = FlashFFTStencil(_N, heat_1d(), fused_steps=_FUSED, tile=128)
+        rb = RobustnessConfig(
+            injector=FaultInjector(faults, seed=3) if faults else None,
+            retry=RetryPolicy(attempts=3),
+            sentinel=overrides.get("sentinel"),
+            checkpoint_every=overrides.get("checkpoint_every", 0),
+        )
+        tel = Telemetry()
+        got = plan.run(grid, _TOTAL, telemetry=tel, robustness=rb)
+        counters = tel.snapshot()["counters"]
+        err = float(np.max(np.abs(got - want)))
+        paths = [name for name, key in _PATH_COUNTERS if counters.get(key, 0)]
+        records.append(
+            {
+                "scenario": label,
+                "faults_injected": counters.get("faults_injected", 0),
+                "recovery_paths": paths,
+                "max_abs_err": err,
+                "recovered": err < 1e-8,
+                "counters": {
+                    k: v
+                    for k, v in sorted(counters.items())
+                    if k.startswith(
+                        ("guard", "stage", "retry", "checkpoint", "sentinel",
+                         "reference", "faults")
+                    )
+                },
+            }
+        )
+    return records
+
+
+def robustness() -> str:
+    """Fault-injection recovery matrix for the robust execution path."""
+    rows = []
+    for rec in recovery_matrix():
+        rows.append(
+            [
+                rec["scenario"],
+                str(rec["faults_injected"]),
+                "+".join(rec["recovery_paths"]) or "-",
+                f"{rec['max_abs_err']:.1e}",
+                "OK" if rec["recovered"] else "WRONG ANSWER",
+            ]
+        )
+    return (
+        header(
+            "Robustness — fault-injection recovery matrix "
+            f"(heat_1d, n={_N}, {_TOTAL} steps @ depth {_FUSED})"
+        )
+        + "\n"
+        + table(rows, ["Scenario", "faults", "recovery path", "max err", "verdict"])
+        + "\n\nEvery row must read OK: a fault is recovered (with the counters"
+        "\nnaming the path that ran) or surfaced as a typed error upstream."
+    )

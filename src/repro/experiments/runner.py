@@ -19,6 +19,7 @@ from typing import Callable
 from .extensions import accuracy, scaling
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
+from .robustness import robustness
 from .tables import table1, table2, table3, table4
 from .telemetry import telemetry
 from .validate import validate
@@ -38,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "future": future_gpus,
     "scaling": scaling,
     "accuracy": accuracy,
+    "robustness": robustness,
     "telemetry": telemetry,
     "validate": validate,
 }

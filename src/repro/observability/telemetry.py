@@ -10,7 +10,11 @@ the host-side engine the same visibility: a :class:`Telemetry` sink records
 * **counters** — monotonic event counts (FFT batches, windows processed,
   points stitched, MMA ops, cache hits/misses);
 * **cache stats** — point-in-time snapshots of the module-level plan cache
-  and the kernel-spectrum cache.
+  and the kernel-spectrum cache;
+* **events** — a bounded log of discrete occurrences (guard violations,
+  injected faults, checkpoint restores, reference fallbacks) recorded by
+  the robustness layer; the oldest entries are dropped past
+  ``EVENT_LIMIT`` and the drop count is kept so nothing vanishes silently.
 
 Everything is JSON-serializable via :meth:`Telemetry.snapshot` /
 :func:`telemetry_to_json`.  The default sink is :data:`NULL_TELEMETRY`, a
@@ -84,12 +88,17 @@ class Telemetry:
 
     enabled = True
 
+    #: Maximum retained events; older entries are dropped (and counted).
+    EVENT_LIMIT = 256
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._spans: dict[str, dict[str, float]] = {}
         self._counters: dict[str, int] = {}
         self._caches: dict[str, dict[str, int]] = {}
+        self._events: list[dict[str, Any]] = []
+        self._events_dropped = 0
 
     # ------------------------------------------------------------- spans
 
@@ -132,6 +141,26 @@ class Telemetry:
         with self._lock:
             self._caches[str(name)] = {k: int(v) for k, v in stats.items()}
 
+    # ------------------------------------------------------------- events
+
+    def event(self, name: str, **fields: Any) -> None:
+        """Append a discrete event (JSON-serializable fields) to the log."""
+        rec = {"event": str(name), **fields}
+        with self._lock:
+            self._events.append(rec)
+            overflow = len(self._events) - self.EVENT_LIMIT
+            if overflow > 0:
+                del self._events[:overflow]
+                self._events_dropped += overflow
+
+    def events(self, name: str | None = None) -> list[dict[str, Any]]:
+        """Recorded events, optionally filtered by event name."""
+        with self._lock:
+            evs = list(self._events)
+        if name is None:
+            return evs
+        return [e for e in evs if e["event"] == name]
+
     # ----------------------------------------------------------- export
 
     def snapshot(self) -> dict[str, Any]:
@@ -144,6 +173,8 @@ class Telemetry:
                 },
                 "counters": dict(sorted(self._counters.items())),
                 "caches": {k: dict(v) for k, v in sorted(self._caches.items())},
+                "events": [dict(e) for e in self._events],
+                "events_dropped": self._events_dropped,
             }
 
     def stage_seconds(self) -> dict[str, float]:
@@ -163,6 +194,8 @@ class Telemetry:
             self._spans.clear()
             self._counters.clear()
             self._caches.clear()
+            self._events.clear()
+            self._events_dropped = 0
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:
@@ -194,8 +227,20 @@ class NullTelemetry(Telemetry):
     def record_cache(self, name: str, **stats: int) -> None:
         pass
 
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def events(self, name: str | None = None) -> list[dict[str, Any]]:
+        return []
+
     def snapshot(self) -> dict[str, Any]:
-        return {"spans": {}, "counters": {}, "caches": {}}
+        return {
+            "spans": {},
+            "counters": {},
+            "caches": {},
+            "events": [],
+            "events_dropped": 0,
+        }
 
     def stage_seconds(self) -> dict[str, float]:
         return {}

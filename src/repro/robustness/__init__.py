@@ -1,0 +1,42 @@
+"""Fault-tolerant execution layer: guards, drift sentinel, checkpoints, faults.
+
+Production runs must detect bad numerics, degrade gracefully to the
+reference path, and survive mid-run faults.  This package supplies the
+pieces; :meth:`repro.FlashFFTStencil.run` wires them together when handed a
+:class:`RobustnessConfig`::
+
+    from repro import FlashFFTStencil, heat_2d
+    from repro.robustness import RobustnessConfig, SentinelConfig
+
+    plan = FlashFFTStencil((128, 128), heat_2d(), fused_steps=4)
+    rb = RobustnessConfig(sentinel=SentinelConfig(every=2), checkpoint_every=4)
+    out = plan.run(grid, total_steps=64, robustness=rb)
+
+Every detection/recovery/fallback event lands in the run's
+:class:`~repro.observability.Telemetry` sink (counters such as
+``guard_violations``, ``stage_retries``, ``checkpoint_restores``,
+``sentinel_breaches``, ``reference_fallback_applies``, plus an event log).
+"""
+
+from .checkpoint import CheckpointStore, DiskCheckpointStore, MemoryCheckpointStore
+from .config import RobustnessConfig
+from .faults import FaultInjector, FaultSpec, RetryPolicy
+from .guards import DEFAULT_GUARDS, GUARDS_OFF, GuardPolicy, NumericalWarning, check_array
+from .sentinel import DriftSentinel, SentinelConfig
+
+__all__ = [
+    "CheckpointStore",
+    "DiskCheckpointStore",
+    "MemoryCheckpointStore",
+    "RobustnessConfig",
+    "FaultInjector",
+    "FaultSpec",
+    "RetryPolicy",
+    "DEFAULT_GUARDS",
+    "GUARDS_OFF",
+    "GuardPolicy",
+    "NumericalWarning",
+    "check_array",
+    "DriftSentinel",
+    "SentinelConfig",
+]

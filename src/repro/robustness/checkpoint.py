@@ -1,0 +1,122 @@
+"""Checkpoint/restart: snapshot the time-stepping state at a fixed cadence.
+
+``FlashFFTStencil.run`` advances a grid through a long chain of fused
+applications; a mid-run fault (a transient stage exception that outlives
+its retry budget) would otherwise force a restart from step 0.  A
+:class:`CheckpointStore` keeps the last few ``(application index, grid)``
+snapshots so the run loop can rewind to the most recent good state and
+replay only the applications since.
+
+Two implementations:
+
+* :class:`MemoryCheckpointStore` — in-process ring of deep copies; the
+  default when ``RobustnessConfig.checkpoint_every`` is set without a store.
+* :class:`DiskCheckpointStore` — ``.npy`` files under a directory, for
+  state that must outlive the process.
+
+Both keep at most ``keep`` snapshots (oldest evicted) and raise
+:class:`~repro.errors.CheckpointError` when asked to restore from nothing
+or from an unreadable file.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import CheckpointError
+
+__all__ = ["CheckpointStore", "MemoryCheckpointStore", "DiskCheckpointStore"]
+
+
+class CheckpointStore:
+    """Interface: ``save`` / ``latest`` / ``clear`` / ``len``."""
+
+    def save(self, step: int, grid: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def latest(self) -> tuple[int, np.ndarray]:
+        """The most recent snapshot as ``(step, grid copy)``."""
+        raise NotImplementedError
+
+    def clear(self) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class MemoryCheckpointStore(CheckpointStore):
+    """In-memory ring buffer of the last ``keep`` snapshots."""
+
+    def __init__(self, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        self.keep = int(keep)
+        self._snaps: list[tuple[int, np.ndarray]] = []
+
+    def save(self, step: int, grid: np.ndarray) -> None:
+        self._snaps.append((int(step), np.array(grid, dtype=np.float64)))
+        del self._snaps[: -self.keep]
+
+    def latest(self) -> tuple[int, np.ndarray]:
+        if not self._snaps:
+            raise CheckpointError("no checkpoint available to restore from")
+        step, grid = self._snaps[-1]
+        return step, grid.copy()
+
+    def clear(self) -> None:
+        self._snaps.clear()
+
+    def __len__(self) -> int:
+        return len(self._snaps)
+
+
+class DiskCheckpointStore(CheckpointStore):
+    """``.npy`` snapshots under ``directory`` (created if missing)."""
+
+    _PREFIX = "ckpt_"
+
+    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+        if keep < 1:
+            raise CheckpointError(f"keep must be >= 1, got {keep}")
+        self.keep = int(keep)
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as e:  # pragma: no cover - environment-dependent
+            raise CheckpointError(f"cannot create checkpoint dir: {e}") from e
+
+    def _paths(self) -> list[Path]:
+        return sorted(self.directory.glob(f"{self._PREFIX}*.npy"))
+
+    def save(self, step: int, grid: np.ndarray) -> None:
+        path = self.directory / f"{self._PREFIX}{int(step):08d}.npy"
+        try:
+            np.save(path, np.asarray(grid, dtype=np.float64))
+        except OSError as e:  # pragma: no cover - environment-dependent
+            raise CheckpointError(f"cannot write checkpoint {path}: {e}") from e
+        for old in self._paths()[: -self.keep]:
+            old.unlink(missing_ok=True)
+
+    def latest(self) -> tuple[int, np.ndarray]:
+        paths = self._paths()
+        if not paths:
+            raise CheckpointError(
+                f"no checkpoint available under {self.directory}"
+            )
+        path = paths[-1]
+        try:
+            grid = np.load(path)
+        except (OSError, ValueError) as e:
+            raise CheckpointError(f"cannot read checkpoint {path}: {e}") from e
+        step = int(path.stem[len(self._PREFIX):])
+        return step, np.asarray(grid, dtype=np.float64)
+
+    def clear(self) -> None:
+        for path in self._paths():
+            path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._paths())

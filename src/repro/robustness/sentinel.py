@@ -1,0 +1,127 @@
+"""Drift sentinel: cheap spot checks of the spectral path against ground truth.
+
+Half-precision TCU FFT pipelines need explicit accuracy management (tcFFT;
+Ahmad et al. bound the FFT-path error of stencil computations against the
+direct form).  The host-side analogue: round-off accumulates across fused
+iteration chains, and a corrupted stage output is *plausible-looking* —
+finite, in range — so magnitude guards alone cannot catch it.
+
+The sentinel exploits the stencil dependency cone.  Every K applications it
+extracts a small probe window (probe interior plus the full fused halo)
+from the application's *input* grid, evolves the window ``steps`` times
+through the reference time-domain engine, and compares the window interior
+against the spectral output.  Interior points lie at least ``steps*radius``
+away from every window edge, so their reference evolution is exact
+regardless of what boundary the window was cut out of — the probe costs
+O(probe_extent^d) instead of O(grid).
+
+On a tolerance breach the caller (``FlashFFTStencil.run``) recomputes the
+application on the reference path and degrades the rest of the run — a
+wrong answer is never returned silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = ["SentinelConfig", "DriftSentinel"]
+
+
+@dataclass(frozen=True)
+class SentinelConfig:
+    """Probe cadence and tolerance for the drift sentinel.
+
+    Parameters
+    ----------
+    every:
+        Probe every ``every``-th application (1 = every application).
+    probe_extent:
+        Probe interior points per axis (the window adds ``2*steps*radius``).
+    tolerance:
+        Relative drift ceiling: breach when
+        ``max|spectral - reference| > tolerance * max(1, max|reference|)``.
+    anchor:
+        Preferred probe-interior corner (per-axis grid indices); clamped so
+        the window fits inside the grid.  Default: the grid origin.
+    """
+
+    every: int = 4
+    probe_extent: int = 8
+    tolerance: float = 1e-6
+    anchor: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if self.every < 1:
+            raise PlanError(f"sentinel cadence must be >= 1, got {self.every}")
+        if self.probe_extent < 1:
+            raise PlanError(
+                f"probe extent must be >= 1, got {self.probe_extent}"
+            )
+        if not self.tolerance > 0:
+            raise PlanError(f"tolerance must be > 0, got {self.tolerance}")
+
+
+class DriftSentinel:
+    """Compares spectral applications against reference probes."""
+
+    def __init__(self, config: SentinelConfig) -> None:
+        self.config = config
+
+    def due(self, apply_index: int) -> bool:
+        """Whether the application at ``apply_index`` (0-based) is probed."""
+        return (apply_index + 1) % self.config.every == 0
+
+    def drift(
+        self,
+        before: np.ndarray,
+        after: np.ndarray,
+        kernel,
+        steps: int,
+        boundary: str,
+    ) -> float:
+        """Normalized drift of ``after`` vs a reference probe of ``before``.
+
+        ``before``/``after`` are the input/output grids of one fused
+        application of ``kernel`` over ``steps`` time steps.
+        """
+        from ..core.reference import run_stencil  # deferred: avoids an
+        # import cycle while repro.core is still initialising.
+
+        halo = tuple(steps * r for r in kernel.radius)
+        win_shape = tuple(
+            min(g, self.config.probe_extent + 2 * h)
+            for g, h in zip(before.shape, halo)
+        )
+        if any(w - 2 * h < 1 for w, h in zip(win_shape, halo)):
+            # Degenerate geometry (halo spans the grid): probe everything.
+            ref = run_stencil(before, kernel, steps, boundary=boundary)
+            return _normalized_drift(after, ref)
+
+        anchor = self.config.anchor or (0,) * before.ndim
+        starts = tuple(
+            int(np.clip(a - h, 0, g - w))
+            for a, h, g, w in zip(anchor, halo, before.shape, win_shape)
+        )
+        window = before[tuple(slice(s, s + w) for s, w in zip(starts, win_shape))]
+        # Zero boundary on the window is immaterial: only the interior —
+        # whose dependency cone stays inside the window — is compared.
+        ref = run_stencil(window, kernel, steps, boundary="zero")
+        interior = tuple(
+            slice(h, w - h) for h, w in zip(halo, win_shape)
+        )
+        got = after[
+            tuple(
+                slice(s + h, s + w - h)
+                for s, h, w in zip(starts, halo, win_shape)
+            )
+        ]
+        return _normalized_drift(got, ref[interior])
+
+
+def _normalized_drift(got: np.ndarray, ref: np.ndarray) -> float:
+    scale = max(1.0, float(np.max(np.abs(ref))))
+    return float(np.max(np.abs(got - ref))) / scale

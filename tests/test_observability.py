@@ -116,7 +116,13 @@ class TestCounters:
             pass
         tel.record_cache("c", hits=0)
         tel.reset()
-        assert tel.snapshot() == {"spans": {}, "counters": {}, "caches": {}}
+        assert tel.snapshot() == {
+            "spans": {},
+            "counters": {},
+            "caches": {},
+            "events": [],
+            "events_dropped": 0,
+        }
 
 
 class TestNullTelemetry:
@@ -125,7 +131,13 @@ class TestNullTelemetry:
         with tel.span("s"):
             tel.count("x", 10)
             tel.record_cache("c", hits=1)
-        assert tel.snapshot() == {"spans": {}, "counters": {}, "caches": {}}
+        assert tel.snapshot() == {
+            "spans": {},
+            "counters": {},
+            "caches": {},
+            "events": [],
+            "events_dropped": 0,
+        }
         assert tel.stage_seconds() == {}
 
     def test_disabled_flag(self):
@@ -159,7 +171,13 @@ class TestJSON:
 
     def test_null_serializes_empty(self):
         decoded = json.loads(telemetry_to_json(NULL_TELEMETRY))
-        assert decoded == {"caches": {}, "counters": {}, "spans": {}}
+        assert decoded == {
+            "caches": {},
+            "counters": {},
+            "spans": {},
+            "events": [],
+            "events_dropped": 0,
+        }
 
 
 class TestThreadSafety:

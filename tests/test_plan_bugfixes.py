@@ -180,3 +180,110 @@ class TestConcurrentPlanCache:
         # Every cached entry is still a cache-owned, unmutated plan.
         assert all(p._cache_owned and p._last_result is None
                    for p in _plan_cache.values())
+
+
+class TestPartialOverlapGuard:
+    """Regression: the guard used to cover only the zero boundary, so a
+    partially-overlapping ``out`` was silently accepted under periodic —
+    the stitch then read windows from memory it had already clobbered."""
+
+    def test_partial_overlap_raises_under_periodic(self, rng):
+        buf = rng.standard_normal(300)
+        grid, out = buf[:256], buf[44:]
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(grid, out=out)
+
+    def test_reversed_view_raises_under_periodic(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(x, out=x[::-1])
+
+    def test_partial_overlap_raises_under_zero(self, rng):
+        buf = rng.standard_normal(300)
+        grid, out = buf[:256], buf[44:]
+        plan = FlashFFTStencil(
+            256, kz.heat_1d(), fused_steps=4, tile=32, boundary="zero"
+        )
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(grid, out=out)
+
+    def test_disjoint_halves_of_one_buffer_are_fine(self, rng):
+        buf = rng.standard_normal(512)
+        grid, out = buf[:256], buf[256:]
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        want = plan.apply(grid.copy())
+        np.testing.assert_array_equal(plan.apply(grid, out=out), want)
+
+
+class TestConcurrentTelemetry:
+    def test_shared_telemetry_counters_are_exact(self, rng):
+        """Threads sharing the plan cache, spectrum LRU, and one enabled
+        Telemetry sink must produce exact aggregate counters."""
+        from repro.observability import Telemetry
+
+        x = rng.standard_normal(96)
+        kernel = kz.heat_1d()
+        want = run_stencil(x, kernel, 7)
+        tel = Telemetry()
+        n_threads, n_runs = 6, 4
+        errors = []
+
+        def work(seed: int):
+            try:
+                for i in range(n_runs):
+                    tile = 12 + 4 * ((seed + i) % 4)
+                    plan = FlashFFTStencil(96, kernel, fused_steps=3, tile=tile)
+                    got = plan.run(x, 7, telemetry=tel)
+                    np.testing.assert_allclose(got, want, atol=1e-8)
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        threads = [threading.Thread(target=work, args=(s,)) for s in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # 7 steps at fused_steps=3 => two full applications plus a tail.
+        runs = n_threads * n_runs
+        c = tel.snapshot()["counters"]
+        assert c["applications"] == runs * 3
+        assert c["points_stitched"] == runs * 3 * 96
+        assert c["plan_cache_hits"] + c["plan_cache_misses"] == runs
+        # No cross-thread mutation of cache-owned plans.
+        assert all(p._cache_owned and p._last_result is None
+                   for p in _plan_cache.values())
+
+    def test_concurrent_robust_runs_share_telemetry(self, rng):
+        """Robust mode (guards + sentinel) is also safe across threads."""
+        from repro.observability import Telemetry
+        from repro.robustness import RobustnessConfig, SentinelConfig
+
+        x = rng.standard_normal(96)
+        kernel = kz.heat_1d()
+        want = run_stencil(x, kernel, 7)
+        tel = Telemetry()
+        rb = RobustnessConfig(sentinel=SentinelConfig(every=1))
+        errors = []
+
+        def work():
+            try:
+                for _ in range(3):
+                    plan = FlashFFTStencil(96, kernel, fused_steps=3, tile=16)
+                    got = plan.run(x, 7, telemetry=tel, robustness=rb)
+                    np.testing.assert_allclose(got, want, atol=1e-8)
+            except Exception as e:  # pragma: no cover - failure path
+                errors.append(e)
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        c = tel.snapshot()["counters"]
+        assert c["sentinel_probes"] == 4 * 3 * 3
+        assert "sentinel_breaches" not in c
+        assert "guard_violations" not in c

@@ -1,0 +1,585 @@
+"""Tests for the fault-tolerant execution layer (``repro.robustness``).
+
+Covers the four tentpole pieces — numerical guards, drift sentinel with
+graceful degradation, checkpoint/restart, and the fault-injection harness —
+plus their wiring through ``FlashFFTStencil``/``SegmentPlan``/
+``TCUStencilExecutor`` and the construction-time validation satellites.
+
+The end-to-end section is the acceptance matrix: every injected fault class
+(NaN poison, transient stage exception, stage-output corruption) is either
+recovered — with telemetry counters proving which path ran — or surfaced as
+a typed ``ReproError``; never a silent wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil, plan_cache_clear
+from repro.core.reference import run_stencil
+from repro.core.streamline import TCUStencilExecutor
+from repro.core.tailoring import SegmentPlan
+from repro.errors import (
+    CheckpointError,
+    FaultInjected,
+    KernelError,
+    NumericalError,
+    PlanError,
+    ReproError,
+)
+from repro.observability import NULL_TELEMETRY, Telemetry
+from repro.robustness import (
+    DiskCheckpointStore,
+    DriftSentinel,
+    FaultInjector,
+    FaultSpec,
+    GuardPolicy,
+    GUARDS_OFF,
+    MemoryCheckpointStore,
+    NumericalWarning,
+    RetryPolicy,
+    RobustnessConfig,
+    SentinelConfig,
+    check_array,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_plan_cache():
+    plan_cache_clear()
+    yield
+    plan_cache_clear()
+
+
+# ---------------------------------------------------------------- guards
+
+
+class TestGuardPolicy:
+    def test_default_is_raise(self):
+        assert GuardPolicy().mode == "raise"
+        assert GuardPolicy().enabled
+
+    def test_off_is_disabled(self):
+        assert not GUARDS_OFF.enabled
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            GuardPolicy(mode="explode")
+
+    def test_invalid_max_abs_rejected(self):
+        with pytest.raises(ValueError, match="max_abs"):
+            GuardPolicy(max_abs=0.0)
+
+
+class TestCheckArray:
+    def test_clean_array_passes_through_identically(self, rng):
+        x = rng.standard_normal(64)
+        assert check_array(x, "x") is x
+
+    def test_nan_raises_numerical_error(self):
+        x = np.ones(16)
+        x[3] = np.nan
+        with pytest.raises(NumericalError, match="NaN"):
+            check_array(x, "x")
+
+    def test_inf_raises_numerical_error(self):
+        x = np.ones(16)
+        x[3] = np.inf
+        with pytest.raises(NumericalError, match="Inf"):
+            check_array(x, "x")
+
+    def test_magnitude_ceiling(self):
+        x = np.ones(8)
+        x[0] = 1e7
+        with pytest.raises(NumericalError, match="limit"):
+            check_array(x, "x", GuardPolicy(max_abs=1e6))
+        # None disables the magnitude check entirely.
+        assert check_array(x, "x", GuardPolicy(max_abs=None)) is x
+
+    def test_error_names_the_array(self):
+        x = np.array([np.nan])
+        with pytest.raises(NumericalError, match="stage-7 output"):
+            check_array(x, "stage-7 output")
+
+    def test_warn_mode_passes_data_through(self):
+        x = np.array([1.0, np.nan])
+        with pytest.warns(NumericalWarning):
+            got = check_array(x, "x", GuardPolicy(mode="warn"))
+        assert got is x
+
+    def test_sanitize_mode_cleans(self):
+        pol = GuardPolicy(mode="sanitize", max_abs=10.0)
+        x = np.array([np.nan, np.inf, -np.inf, 99.0, 1.0])
+        got = check_array(x, "x", pol)
+        np.testing.assert_array_equal(got, [0.0, 10.0, -10.0, 10.0, 1.0])
+
+    def test_off_mode_skips_even_nan(self):
+        x = np.array([np.nan])
+        assert check_array(x, "x", GUARDS_OFF) is x
+
+    def test_telemetry_counters(self):
+        tel = Telemetry()
+        check_array(np.ones(4), "ok", GuardPolicy(), tel)
+        with pytest.raises(NumericalError):
+            check_array(np.array([np.nan]), "bad", GuardPolicy(), tel)
+        c = tel.snapshot()["counters"]
+        assert c["guard_checks"] == 2
+        assert c["guard_violations"] == 1
+        assert tel.events("guard_violation")[0]["array"] == "bad"
+
+
+# ------------------------------------------- construction-time validation
+
+
+class TestConstructionValidation:
+    def test_kernel_rejects_nan_weight(self):
+        with pytest.raises(KernelError, match="finite"):
+            kz.StencilKernel([0, 1], [1.0, np.nan])
+
+    def test_from_dense_rejects_nan_box(self):
+        # Regression: NaN compares False against tol, so the tap used to be
+        # *silently dropped*, yielding a valid-looking but wrong kernel.
+        box = np.array([0.25, 0.5, np.nan])
+        with pytest.raises(KernelError, match="finite"):
+            kz.StencilKernel.from_dense(box, center=(1,))
+
+    def test_temporal_spectrum_overflow_is_typed(self):
+        kz.spectrum_cache_clear()
+        unstable = kz.StencilKernel([-1, 0, 1], [2.0, 3.0, 2.0], name="boom")
+        with pytest.raises(KernelError, match="overflow"):
+            unstable.temporal_spectrum(64, 2048)
+
+    def test_executor_rejects_nonfinite_spectrum(self):
+        spec = np.full(12, 1.0 + 0j)
+        spec[5] = np.nan
+        with pytest.raises(NumericalError, match="spectrum"):
+            TCUStencilExecutor((12,), spec)
+
+
+# ------------------------------------------------------- stage guards
+
+
+class TestStageGuards:
+    def test_segment_plan_run_guards_input(self, rng):
+        plan = SegmentPlan((64,), kz.heat_1d(), 1, (16,))
+        x = rng.standard_normal(64)
+        x[10] = np.nan
+        with pytest.raises(NumericalError, match="grid"):
+            plan.run(x, guards=GuardPolicy())
+
+    def test_segment_plan_run_clean_matches_unguarded(self, rng):
+        plan = SegmentPlan((64,), kz.heat_1d(), 2, (16,))
+        x = rng.standard_normal(64)
+        np.testing.assert_array_equal(
+            plan.run(x, guards=GuardPolicy()), plan.run(x)
+        )
+
+    def test_executor_guards_segments(self, rng):
+        plan = FlashFFTStencil(96, kz.heat_1d(), fused_steps=2, tile=24)
+        segs = rng.standard_normal((4,) + plan.local_shape)
+        segs[2, 1] = np.inf
+        with pytest.raises(NumericalError, match="segments"):
+            plan.executor.run(segs, guards=GuardPolicy())
+
+    def test_plan_apply_guards_via_robustness(self, rng):
+        plan = FlashFFTStencil(96, kz.heat_1d(), fused_steps=2, tile=24)
+        x = rng.standard_normal(96)
+        x[0] = np.nan
+        with pytest.raises(NumericalError):
+            plan.apply(x, robustness=RobustnessConfig())
+        # Guards off: NaN propagates as before (explicitly opted out).
+        got = plan.apply(x, robustness=RobustnessConfig(guards=GUARDS_OFF))
+        assert np.isnan(got).any()
+
+
+# ---------------------------------------------------------- out aliasing
+
+
+class TestOutAliasingAllBoundaries:
+    def test_partial_overlap_rejected_under_periodic(self, rng):
+        # Regression: the old guard only covered the zero boundary, so a
+        # partially-overlapping out was silently accepted under periodic.
+        buf = rng.standard_normal(300)
+        grid = buf[:256]
+        out = buf[44:]
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(grid, out=out)
+
+    def test_full_self_alias_still_supported_under_periodic(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        want = plan.apply(x.copy())
+        got = plan.apply(x, out=x)
+        np.testing.assert_array_equal(got, want)
+
+    def test_zero_boundary_rejects_any_sharing(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(
+            256, kz.heat_1d(), fused_steps=4, tile=32, boundary="zero"
+        )
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(x, out=x)
+
+    def test_partial_overlap_rejected_2d(self, rng):
+        buf = rng.standard_normal(48 * 50)
+        grid = buf[: 48 * 48].reshape(48, 48)
+        out = buf[96:][: 48 * 48].reshape(48, 48)
+        plan = FlashFFTStencil((48, 48), kz.heat_2d(), fused_steps=2, tile=(16, 16))
+        with pytest.raises(PlanError, match="alias"):
+            plan.apply(grid, out=out)
+
+    def test_stitch_out_must_not_alias_fused(self, rng):
+        plan = SegmentPlan((64,), kz.heat_1d(), 1, (16,))
+        windows = plan.split(rng.standard_normal(64))
+        fused = plan.fuse(windows)
+        out = fused.reshape(-1)[: 64]
+        with pytest.raises(PlanError, match="alias"):
+            plan.stitch(fused, out=out)
+
+
+# ------------------------------------------------------------- checkpoints
+
+
+class TestCheckpointStores:
+    def test_memory_roundtrip_and_isolation(self, rng):
+        store = MemoryCheckpointStore()
+        g = rng.standard_normal(8)
+        store.save(3, g)
+        g[0] = 999.0  # the snapshot must be a deep copy
+        step, back = store.latest()
+        assert step == 3
+        assert back[0] != 999.0
+
+    def test_memory_keeps_last_k(self):
+        store = MemoryCheckpointStore(keep=2)
+        for i in range(5):
+            store.save(i, np.full(4, float(i)))
+        assert len(store) == 2
+        step, back = store.latest()
+        assert step == 4 and back[0] == 4.0
+
+    def test_empty_store_raises_typed(self):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            MemoryCheckpointStore().latest()
+
+    def test_disk_roundtrip(self, tmp_path, rng):
+        store = DiskCheckpointStore(tmp_path / "ckpts", keep=2)
+        g = rng.standard_normal((4, 4))
+        store.save(7, g)
+        store.save(9, g + 1)
+        step, back = store.latest()
+        assert step == 9
+        np.testing.assert_array_equal(back, g + 1)
+        assert len(store) == 2
+
+    def test_disk_prunes_old(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path, keep=1)
+        for i in range(3):
+            store.save(i, np.zeros(2))
+        assert len(store) == 1
+
+    def test_disk_corrupt_file_raises_typed(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        (tmp_path / "ckpt_00000001.npy").write_bytes(b"not a npy file")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            store.latest()
+
+    def test_clear(self, tmp_path):
+        for store in (MemoryCheckpointStore(), DiskCheckpointStore(tmp_path)):
+            store.save(0, np.zeros(2))
+            store.clear()
+            assert len(store) == 0
+
+
+# --------------------------------------------------------- fault injector
+
+
+class TestFaultInjector:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError, match="stage"):
+            FaultSpec(stage="warp", kind="nan")
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(stage="fuse", kind="gamma-ray")
+        with pytest.raises(ValueError, match="count"):
+            FaultSpec(stage="fuse", kind="nan", count=0)
+
+    def test_nan_poison_is_deterministic(self):
+        a = FaultInjector([FaultSpec(stage="fuse", kind="nan")], seed=5)
+        b = FaultInjector([FaultSpec(stage="fuse", kind="nan")], seed=5)
+        x = np.zeros(64)
+        ga = a.visit("fuse", x, 0)
+        gb = b.visit("fuse", x, 0)
+        assert not np.isnan(x).any()  # original untouched
+        np.testing.assert_array_equal(np.isnan(ga), np.isnan(gb))
+        assert np.isnan(ga).sum() == 1
+
+    def test_wrong_site_is_untouched(self):
+        inj = FaultInjector([FaultSpec(stage="fuse", kind="nan", apply_index=3)])
+        x = np.zeros(8)
+        assert inj.visit("fuse", x, 2) is x
+        assert inj.visit("split", x, 3) is x
+        assert inj.pending == 1
+
+    def test_transient_raises_then_heals(self):
+        inj = FaultInjector([FaultSpec(stage="split", kind="transient", count=2)])
+        x = np.zeros(4)
+        for _ in range(2):
+            with pytest.raises(FaultInjected) as e:
+                inj.visit("split", x, 0)
+            assert e.value.transient
+        assert inj.visit("split", x, 0) is x  # healed
+        assert [rec["kind"] for rec in inj.log] == ["transient", "transient"]
+
+    def test_corrupt_offsets_everything(self):
+        inj = FaultInjector([FaultSpec(stage="stitch", kind="corrupt", value=0.5)])
+        got = inj.visit("stitch", np.zeros(6), 0)
+        np.testing.assert_array_equal(got, np.full(6, 0.5))
+
+    def test_reset_rearms(self):
+        inj = FaultInjector([FaultSpec(stage="fuse", kind="nan")])
+        inj.visit("fuse", np.zeros(4), 0)
+        assert inj.pending == 0
+        inj.reset()
+        assert inj.pending == 1 and inj.log == []
+
+    def test_telemetry_records_injections(self):
+        tel = Telemetry()
+        inj = FaultInjector([FaultSpec(stage="fuse", kind="nan")])
+        inj.visit("fuse", np.zeros(4), 0, telemetry=tel)
+        assert tel.snapshot()["counters"]["faults_injected"] == 1
+        assert tel.events("fault_injected")[0]["stage"] == "fuse"
+
+
+# -------------------------------------------------------------- sentinel
+
+
+class TestDriftSentinel:
+    def test_cadence(self):
+        s = DriftSentinel(SentinelConfig(every=3))
+        assert [s.due(i) for i in range(6)] == [
+            False, False, True, False, False, True,
+        ]
+
+    def test_clean_application_has_tiny_drift(self, rng):
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        x = rng.standard_normal(256)
+        y = plan.apply(x)
+        s = DriftSentinel(SentinelConfig())
+        assert s.drift(x, y, plan.kernel, 4, plan.boundary) < 1e-12
+
+    def test_corruption_is_detected(self, rng):
+        plan = FlashFFTStencil(256, kz.heat_1d(), fused_steps=4, tile=32)
+        x = rng.standard_normal(256)
+        y = plan.apply(x) + 1e-3
+        s = DriftSentinel(SentinelConfig())
+        assert s.drift(x, y, plan.kernel, 4, plan.boundary) > 1e-4
+
+    def test_degenerate_small_grid_probes_whole_grid(self, rng):
+        # probe window would exceed the grid: falls back to a full probe.
+        k = kz.heat_1d()
+        x = rng.standard_normal(8)
+        y = run_stencil(x, k, 3)
+        s = DriftSentinel(SentinelConfig(probe_extent=64))
+        assert s.drift(x, y, k, 3, "periodic") < 1e-12
+
+    def test_2d_zero_boundary_probe(self, rng):
+        plan = FlashFFTStencil(
+            (48, 48), kz.heat_2d(), fused_steps=3, tile=(16, 16), boundary="zero"
+        )
+        x = rng.standard_normal((48, 48))
+        y = plan.apply(x)
+        s = DriftSentinel(SentinelConfig())
+        assert s.drift(x, y, plan.kernel, 3, "zero") < 1e-12
+
+    def test_config_validation(self):
+        with pytest.raises(PlanError):
+            SentinelConfig(every=0)
+        with pytest.raises(PlanError):
+            SentinelConfig(tolerance=0.0)
+
+
+# --------------------------------------------- end-to-end recovery matrix
+
+
+class TestRecoveryMatrix:
+    """Every fault class is recovered or surfaced as a typed ReproError."""
+
+    def _plan_and_truth(self, rng, total=5):
+        x = rng.standard_normal(640)
+        plan = FlashFFTStencil(640, kz.heat_1d(), fused_steps=2, tile=128)
+        return plan, x, run_stencil(x, kz.heat_1d(), total)
+
+    def test_clean_robust_run_matches_reference(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        rb = RobustnessConfig(
+            sentinel=SentinelConfig(every=1), checkpoint_every=2
+        )
+        tel = Telemetry()
+        got = plan.run(x, 5, telemetry=tel, robustness=rb)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["sentinel_probes"] == 3
+        assert "sentinel_breaches" not in c
+        assert c["checkpoint_saves"] == 2
+
+    def test_nan_poison_recovered_by_retry(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        inj = FaultInjector([FaultSpec(stage="fuse", kind="nan", apply_index=1)])
+        tel = Telemetry()
+        got = plan.run(x, 5, telemetry=tel, robustness=RobustnessConfig(injector=inj))
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["guard_violations"] == 1
+        assert c["stage_retries"] == 1
+        assert c["retry_recoveries"] == 1
+
+    def test_persistent_nan_falls_back_to_reference(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="nan", apply_index=1, count=99)]
+        )
+        tel = Telemetry()
+        got = plan.run(x, 5, telemetry=tel, robustness=RobustnessConfig(injector=inj))
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["reference_fallback_applies"] >= 1
+        assert tel.events("reference_fallback")[0]["cause"] == "NumericalError"
+
+    def test_persistent_nan_without_fallback_raises_typed(self, rng):
+        plan, x, _ = self._plan_and_truth(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="nan", apply_index=1, count=99)]
+        )
+        rb = RobustnessConfig(injector=inj, fallback_to_reference=False)
+        with pytest.raises(ReproError):
+            plan.run(x, 5, robustness=rb)
+
+    def test_transient_recovered_by_retry(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="split", kind="transient", apply_index=0, count=2)]
+        )
+        tel = Telemetry()
+        rb = RobustnessConfig(injector=inj, retry=RetryPolicy(attempts=3))
+        got = plan.run(x, 5, telemetry=tel, robustness=rb)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["stage_retries"] == 2
+        assert c["retry_recoveries"] == 1
+
+    def test_transient_outliving_retries_restored_from_checkpoint(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="split", kind="transient", apply_index=1, count=4)]
+        )
+        tel = Telemetry()
+        rb = RobustnessConfig(
+            injector=inj, retry=RetryPolicy(attempts=3), checkpoint_every=1
+        )
+        got = plan.run(x, 5, telemetry=tel, robustness=rb)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["checkpoint_restores"] == 1
+        assert c["faults_injected"] == 4  # 3 retries + 1 post-restore firing
+
+    def test_corruption_detected_by_sentinel_and_degraded(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="stitch", kind="corrupt", apply_index=0, value=1.0)]
+        )
+        tel = Telemetry()
+        rb = RobustnessConfig(
+            injector=inj, sentinel=SentinelConfig(every=1, tolerance=1e-8)
+        )
+        got = plan.run(x, 5, telemetry=tel, robustness=rb)
+        # Acceptance: degraded output matches the reference path.
+        np.testing.assert_allclose(got, plan.run_reference(x, 5), atol=1e-9)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        c = tel.snapshot()["counters"]
+        assert c["sentinel_breaches"] == 1
+        assert c["sentinel_fallbacks"] == 1
+        assert c["reference_fallback_applies"] == 3  # breach + 2 degraded
+        assert tel.events("sentinel_breach")[0]["drift"] > 1e-8
+
+    def test_nan_input_grid_surfaces_immediately(self, rng):
+        plan, x, _ = self._plan_and_truth(rng)
+        x[7] = np.nan
+        with pytest.raises(NumericalError, match="grid"):
+            plan.run(x, 5, robustness=RobustnessConfig())
+
+    def test_robust_run_zero_boundary(self, rng):
+        x = rng.standard_normal(256)
+        plan = FlashFFTStencil(
+            256, kz.heat_1d(), fused_steps=4, tile=32, boundary="zero"
+        )
+        rb = RobustnessConfig(sentinel=SentinelConfig(every=1), checkpoint_every=1)
+        got = plan.run(x, 9, robustness=rb)
+        np.testing.assert_allclose(
+            got, run_stencil(x, kz.heat_1d(), 9, boundary="zero"), atol=1e-9
+        )
+
+    def test_robust_run_emulate_tcu(self, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        rb = RobustnessConfig(sentinel=SentinelConfig(every=2))
+        got = plan.run(x, 5, emulate_tcu=True, robustness=rb)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        assert plan.last_streamline_result is not None
+
+    def test_disk_checkpoint_end_to_end(self, tmp_path, rng):
+        plan, x, want = self._plan_and_truth(rng)
+        store = DiskCheckpointStore(tmp_path)
+        inj = FaultInjector(
+            [FaultSpec(stage="split", kind="transient", apply_index=2, count=4)]
+        )
+        rb = RobustnessConfig(
+            injector=inj,
+            retry=RetryPolicy(attempts=3),
+            checkpoint_every=1,
+            checkpoint_store=store,
+        )
+        got = plan.run(x, 5, robustness=rb)
+        np.testing.assert_allclose(got, want, atol=1e-9)
+        assert len(store) >= 1
+
+    def test_zero_steps_still_validates_input(self, rng):
+        plan, x, _ = self._plan_and_truth(rng)
+        x[0] = np.inf
+        with pytest.raises(NumericalError):
+            plan.run(x, 0, robustness=RobustnessConfig())
+
+
+# ------------------------------------------------------- telemetry events
+
+
+class TestTelemetryEvents:
+    def test_event_log_and_filter(self):
+        tel = Telemetry()
+        tel.event("a", k=1)
+        tel.event("b", k=2)
+        tel.event("a", k=3)
+        assert [e["k"] for e in tel.events("a")] == [1, 3]
+        assert len(tel.events()) == 3
+
+    def test_event_log_is_bounded(self):
+        tel = Telemetry()
+        for i in range(Telemetry.EVENT_LIMIT + 10):
+            tel.event("e", i=i)
+        snap = tel.snapshot()
+        assert len(snap["events"]) == Telemetry.EVENT_LIMIT
+        assert snap["events_dropped"] == 10
+        assert snap["events"][-1]["i"] == Telemetry.EVENT_LIMIT + 9
+
+    def test_reset_clears_events(self):
+        tel = Telemetry()
+        tel.event("e")
+        tel.reset()
+        assert tel.snapshot()["events"] == []
+        assert tel.snapshot()["events_dropped"] == 0
+
+    def test_null_telemetry_ignores_events(self):
+        NULL_TELEMETRY.event("e", x=1)
+        assert NULL_TELEMETRY.events() == []
+        assert NULL_TELEMETRY.snapshot()["events"] == []
