@@ -1,0 +1,344 @@
+"""Throughput-engine benchmark: sharding, backends, batched serving, arenas.
+
+Measures the four layers of :mod:`repro.parallel` and writes
+``BENCH_throughput.json``:
+
+* **worker scaling** — steady-state ``apply()`` across shard-worker counts
+  on large 1-D/2-D/3-D plans, with a bit-equality check of every sharded
+  result against the serial path;
+* **FFT backends** — ``numpy`` vs ``scipy`` vs ``scipy:-1`` on the same
+  plan geometry, with a <= 1e-12 numerical-agreement check;
+* **batched serving** — B small grids advanced by a sequential ``run()``
+  loop vs one ``run_many()`` (real and Double-layer-packed), in grids/s;
+* **arena overhead** — pooled-workspace steady state vs ``arena=False``,
+  sampled *interleaved* so allocator drift and CPU-frequency wander hit
+  both sides equally.
+
+Gates (``--no-target-check`` skips; ``--smoke`` shrinks reps for CI):
+
+* every sharded/batched/backend result agrees with the serial numpy path
+  (bit-identical for sharding/batching, <= 1e-12 for backends/packing);
+* ``run_many(B=8)`` serves >= 2x the sequential-loop throughput on the
+  small-grid serving workload;
+* arena overhead <= 5% at 1 worker;
+* 4-worker sharding reaches >= 1.5x on the large 2-D plan **when the
+  machine exposes >= 4 CPUs** (the scaling curve is recorded regardless —
+  on smaller hosts the gate is reported as skipped, not failed).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py           # full gate
+    PYTHONPATH=src python benchmarks/bench_throughput.py --smoke   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil, plan_cache_clear
+from repro.parallel import cpu_count
+
+#: Large plans for the worker-scaling curve: enough first-axis tiles that
+#: every worker count below keeps whole shards busy.
+SCALING_CASES: tuple[tuple[str, tuple[int, ...], object, tuple[int, ...], int], ...] = (
+    ("heat-1d", (1 << 20,), kz.heat_1d, (4096,), 8),
+    ("heat-2d", (512, 512), kz.heat_2d, (64, 64), 4),
+    ("heat-3d", (64, 64, 64), kz.heat_3d, (32, 32, 32), 2),
+)
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Small-grid serving workload: B tenants where per-call overhead, not
+#: transform flops, dominates — the regime ``run_many`` exists for.
+SERVING_SHAPE = (256,)
+SERVING_TILE = (64,)
+SERVING_FUSED = 8
+SERVING_STEPS = 24
+SERVING_BATCH = 8
+
+
+def _median_ms(fn, reps: int, warmup: int) -> float:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        samples.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(samples)
+
+
+def _min_ms(fn, reps: int, warmup: int) -> float:
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, (time.perf_counter() - t0) * 1e3)
+    return best
+
+
+def _interleaved_ms(fn_a, fn_b, reps: int, warmup: int) -> tuple[float, float]:
+    """Median ms of two closures sampled alternately (A, B, A, B, ...).
+
+    Back-to-back blocks of the same closure absorb allocator and frequency
+    drift asymmetrically; alternating samples give both sides the same
+    environment, which matters when the gate is a few percent wide.  The
+    within-pair order also flips every iteration so neither side always
+    pays the comes-second cache state.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    a, b = [], []
+    for i in range(reps):
+        for fn, sink in ((fn_a, a), (fn_b, b)) if i % 2 == 0 else ((fn_b, b), (fn_a, a)):
+            t0 = time.perf_counter()
+            fn()
+            sink.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(a), statistics.median(b)
+
+
+def bench_worker_scaling(reps: int, warmup: int, failures: list[str]) -> list[dict]:
+    """Shard-worker scaling curve; asserts bit-equality at every point."""
+    rows = []
+    cores = cpu_count()
+    for name, shape, kf, tile, fused in SCALING_CASES:
+        x = np.random.default_rng(0x7C0).standard_normal(shape)
+        serial = FlashFFTStencil(shape, kf(), fused_steps=fused, tile=tile, workers=1)
+        ref = serial.apply(x)
+        base_ms = _median_ms(lambda: serial.apply(x), reps, warmup)
+        points = int(np.prod(shape))
+        curve = {1: {"ms": round(base_ms, 4), "speedup": 1.0}}
+        for w in WORKER_COUNTS[1:]:
+            plan = FlashFFTStencil(
+                shape, kf(), fused_steps=fused, tile=tile, workers=w
+            )
+            got = plan.apply(x)
+            if not np.array_equal(got, ref):
+                failures.append(f"scaling {name}: {w}-worker result != serial")
+            ms = _median_ms(lambda: plan.apply(x), reps, warmup)
+            curve[w] = {
+                "ms": round(ms, 4),
+                "speedup": round(base_ms / ms, 3),
+                "shards": plan._shard_executor.num_shards
+                if plan._shard_executor
+                else 1,
+            }
+        rows.append(
+            {
+                "name": name,
+                "ndim": len(shape),
+                "grid_shape": list(shape),
+                "tile": list(tile),
+                "fused_steps": fused,
+                "points": points,
+                "workers": curve,
+            }
+        )
+    # Hardware-aware gate: parallel speedup is only assertable where the
+    # parallelism physically exists.
+    gate = {"cores": cores, "required_speedup": 1.5, "evaluated": cores >= 4}
+    if gate["evaluated"]:
+        best = max(r["workers"][4]["speedup"] for r in rows if r["ndim"] == 2)
+        gate["best_2d_speedup_at_4"] = best
+        if best < 1.5:
+            failures.append(
+                f"sharding: 4-worker 2-D speedup {best:.2f} < 1.5 on {cores} cores"
+            )
+    rows.append({"gate": gate})
+    return rows
+
+
+def bench_backends(reps: int, warmup: int, failures: list[str]) -> dict:
+    """numpy vs scipy vs scipy:-1 on one large 2-D plan."""
+    shape, tile, fused = (512, 512), (64, 64), 4
+    x = np.random.default_rng(0xBE).standard_normal(shape)
+    ref_plan = FlashFFTStencil(shape, kz.heat_2d(), fused_steps=fused, tile=tile)
+    ref = ref_plan.apply(x)
+    rows = {}
+    for spec in ("numpy", "scipy", "scipy:-1"):
+        plan = FlashFFTStencil(
+            shape, kz.heat_2d(), fused_steps=fused, tile=tile, backend=spec
+        )
+        err = float(np.max(np.abs(plan.apply(x) - ref)))
+        if err > 1e-12:
+            failures.append(f"backend {spec}: deviates from numpy by {err:.3e}")
+        ms = _median_ms(lambda: plan.apply(x), reps, warmup)
+        rows[spec] = {"ms": round(ms, 4), "max_abs_error": err}
+    return {
+        "grid_shape": list(shape),
+        "tile": list(tile),
+        "fused_steps": fused,
+        "backends": rows,
+    }
+
+
+def bench_serving(reps: int, warmup: int, failures: list[str]) -> dict:
+    """Sequential run() loop vs run_many (real / double-layer), grids/s."""
+    rng = np.random.default_rng(0x5E4)
+    kernel = {1: kz.heat_1d, 2: kz.heat_2d, 3: kz.heat_3d}[len(SERVING_SHAPE)]()
+    plan = FlashFFTStencil(
+        SERVING_SHAPE, kernel, fused_steps=SERVING_FUSED, tile=SERVING_TILE
+    )
+    gs = [rng.standard_normal(SERVING_SHAPE) for _ in range(SERVING_BATCH)]
+
+    seq_ref = np.stack([plan.run(g, SERVING_STEPS) for g in gs])
+    if not np.array_equal(plan.run_many(gs, SERVING_STEPS), seq_ref):
+        failures.append("serving: run_many != sequential run() loop")
+    dl = plan.run_many(gs, SERVING_STEPS, double_layer=True)
+    dl_err = float(np.max(np.abs(dl - seq_ref)))
+    if dl_err > 1e-12:
+        failures.append(f"serving: double-layer deviates by {dl_err:.3e}")
+
+    # Minimum-over-reps here, not median: the serving calls are sub-ms, so
+    # the throughput ratio is the one number on this page most exposed to
+    # scheduler noise, and min-of-N is its standard low-noise estimator.
+    seq_ms = _min_ms(
+        lambda: [plan.run(g, SERVING_STEPS) for g in gs], reps, warmup
+    )
+    many_ms = _min_ms(lambda: plan.run_many(gs, SERVING_STEPS), reps, warmup)
+    dl_ms = _min_ms(
+        lambda: plan.run_many(gs, SERVING_STEPS, double_layer=True), reps, warmup
+    )
+
+    def _gps(ms: float) -> float:
+        return round(SERVING_BATCH / (ms * 1e-3), 1)
+
+    ratio = seq_ms / many_ms if many_ms else 0.0
+    if ratio < 2.0:
+        failures.append(
+            f"serving: run_many throughput {ratio:.2f}x sequential < 2.0x"
+        )
+    return {
+        "grid_shape": list(SERVING_SHAPE),
+        "batch": SERVING_BATCH,
+        "total_steps": SERVING_STEPS,
+        "sequential": {"ms": round(seq_ms, 4), "grids_per_s": _gps(seq_ms)},
+        "run_many": {"ms": round(many_ms, 4), "grids_per_s": _gps(many_ms)},
+        "double_layer": {"ms": round(dl_ms, 4), "grids_per_s": _gps(dl_ms)},
+        "speedup_vs_sequential": round(ratio, 3),
+        "double_layer_max_abs_error": dl_err,
+    }
+
+
+def bench_arena(reps: int, warmup: int, failures: list[str]) -> dict:
+    """Pooled-arena steady state vs arena=False, interleaved sampling."""
+    shape, tile, fused, steps = (256, 256), (64, 64), 4, 9
+    x = np.random.default_rng(0xA2E).standard_normal(shape)
+    with_arena = FlashFFTStencil(
+        shape, kz.heat_2d(), fused_steps=fused, tile=tile, workers=1
+    )
+    without = FlashFFTStencil(
+        shape, kz.heat_2d(), fused_steps=fused, tile=tile, workers=1, arena=False
+    )
+    if not np.array_equal(with_arena.run(x, steps), without.run(x, steps)):
+        failures.append("arena: result != arena-free path")
+    arena_ms, plain_ms = _interleaved_ms(
+        lambda: with_arena.run(x, steps),
+        lambda: without.run(x, steps),
+        reps,
+        warmup,
+    )
+    overhead = arena_ms / plain_ms - 1.0 if plain_ms else 0.0
+    if overhead > 0.05:
+        failures.append(f"arena: overhead {overhead * 100:.1f}% > 5%")
+    pool = with_arena._arena_pool
+    return {
+        "grid_shape": list(shape),
+        "total_steps": steps,
+        "arena_ms": round(arena_ms, 4),
+        "no_arena_ms": round(plain_ms, 4),
+        "overhead_pct": round(overhead * 100, 2),
+        "arena_nbytes": pool[0].nbytes() if pool else None,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true", help="CI smoke: fewer reps")
+    ap.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    ap.add_argument(
+        "--warmup", type=int, default=None, help="warmup iterations per section"
+    )
+    ap.add_argument(
+        "--no-target-check", action="store_true", help="record only, no gates"
+    )
+    ap.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_throughput.json",
+    )
+    args = ap.parse_args(argv)
+    reps = args.reps if args.reps is not None else (5 if args.smoke else 15)
+    if reps < 1:
+        ap.error(f"--reps must be >= 1, got {reps}")
+    warmup = args.warmup if args.warmup is not None else (2 if args.smoke else 4)
+    if warmup < 0:
+        ap.error(f"--warmup must be >= 0, got {warmup}")
+
+    plan_cache_clear()
+    failures: list[str] = []
+    report = {
+        "benchmark": "throughput",
+        "reps": reps,
+        "warmup": warmup,
+        "cpu_count": cpu_count(),
+        # Arena first: its 5% gate is the tightest, so it runs before the
+        # heavyweight scaling section perturbs the allocator.
+        "arena": bench_arena(max(reps, 21), warmup, failures),
+        "worker_scaling": bench_worker_scaling(reps, warmup, failures),
+        "fft_backends": bench_backends(reps, warmup, failures),
+        "batched_serving": bench_serving(reps, warmup, failures),
+    }
+    report["gates_passed"] = not failures
+    report["failures"] = list(failures)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"cores visible: {report['cpu_count']}")
+    for row in report["worker_scaling"]:
+        if "gate" in row:
+            continue
+        curve = "  ".join(
+            f"{w}w:{row['workers'][w]['speedup']:.2f}x"
+            for w in WORKER_COUNTS
+            if w in row["workers"]
+        )
+        print(f"scaling  {row['name']:<9} {curve}")
+    be = report["fft_backends"]["backends"]
+    print(
+        "backends "
+        + "  ".join(f"{k}:{v['ms']:.2f}ms" for k, v in be.items())
+    )
+    sv = report["batched_serving"]
+    print(
+        f"serving  seq:{sv['sequential']['grids_per_s']}/s  "
+        f"run_many:{sv['run_many']['grids_per_s']}/s  "
+        f"({sv['speedup_vs_sequential']:.2f}x)  "
+        f"double-layer:{sv['double_layer']['grids_per_s']}/s"
+    )
+    ar = report["arena"]
+    print(f"arena    overhead {ar['overhead_pct']:+.1f}%")
+    print(f"wrote {args.output}")
+
+    if args.no_target_check:
+        return 0
+    if failures:
+        print("THROUGHPUT REGRESSION:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("throughput gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

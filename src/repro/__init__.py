@@ -35,6 +35,9 @@ Subpackages
 ``repro.robustness``
     Fault-tolerant execution: numerical guards, drift sentinel with
     graceful degradation, checkpoint/restart, fault injection.
+``repro.parallel``
+    Throughput engine: multi-core sharded execution, pluggable FFT
+    backends, batched multi-grid serving, workspace arenas.
 """
 
 from .core import (
@@ -75,6 +78,19 @@ from .errors import (
 )
 from .gpusim import A100, H100, GPUSpec, gpu_by_name
 from .observability import NULL_TELEMETRY, NullTelemetry, Telemetry, telemetry_to_json
+from .parallel import (
+    FFTBackend,
+    NumpyFFTBackend,
+    ScipyFFTBackend,
+    ShardedExecutor,
+    WorkspaceArena,
+    apply_many,
+    available_backends,
+    choose_workers,
+    get_backend,
+    register_backend,
+    run_many,
+)
 from .robustness import (
     DiskCheckpointStore,
     DriftSentinel,
@@ -104,6 +120,7 @@ __all__ = [
     "FaultInjected",
     "FaultInjector",
     "FaultSpec",
+    "FFTBackend",
     "FlashFFTStencil",
     "GPUSpec",
     "GuardPolicy",
@@ -113,6 +130,7 @@ __all__ = [
     "MemoryCheckpointStore",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "NumpyFFTBackend",
     "NumericalError",
     "NumericalWarning",
     "PFAError",
@@ -121,23 +139,32 @@ __all__ = [
     "ReproError",
     "RetryPolicy",
     "RobustnessConfig",
+    "ScipyFFTBackend",
     "SegmentPlan",
     "SentinelConfig",
+    "ShardedExecutor",
     "SimulationError",
     "StencilKernel",
     "StreamlineConfig",
     "TCUStencilExecutor",
     "Telemetry",
+    "WorkspaceArena",
     "telemetry_to_json",
     "apply_fft_stencil",
+    "apply_many",
     "apply_stencil",
+    "available_backends",
     "box_2d9p",
     "box_3d27p",
+    "choose_workers",
+    "get_backend",
     "gpu_by_name",
     "heat_1d",
     "heat_2d",
     "heat_3d",
     "kernel_by_name",
+    "register_backend",
+    "run_many",
     "run_stencil",
     "star_1d5p",
     "star_1d7p",

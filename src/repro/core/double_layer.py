@@ -27,6 +27,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import PlanError
+from ..parallel.backends import FFTBackend, get_backend
 
 __all__ = [
     "pack_pair",
@@ -78,17 +79,22 @@ def filter_pair(
     x_a: np.ndarray,
     x_b: np.ndarray,
     spectrum: np.ndarray,
+    backend: "FFTBackend | str | None" = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Apply one real-kernel frequency filter to two real segments at once.
 
     ``spectrum`` must be the circular spectrum of a *real* kernel on the
     segments' shape (e.g. ``kernel.temporal_spectrum(shape, T)``); that is
     what makes the single complex pass carry both results exactly.
+    ``backend`` selects the FFT provider (default: ``$REPRO_FFT_BACKEND``
+    or ``np.fft``).
     """
     z = pack_pair(x_a, x_b)
     if spectrum.shape != z.shape:
         raise PlanError(
             f"spectrum shape {spectrum.shape} != segment shape {z.shape}"
         )
-    filtered = np.fft.ifftn(np.fft.fftn(z) * spectrum)
+    be = get_backend(backend)
+    axes = tuple(range(z.ndim))
+    filtered = be.ifftn(be.fftn(z, axes) * spectrum, axes)
     return unpack_pair(filtered)

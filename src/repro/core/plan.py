@@ -42,6 +42,9 @@ from ..gpusim.pipeline import overlap_throughput_factor
 from ..gpusim.roofline import KernelCost
 from ..gpusim.spec import A100, GPUSpec
 from ..observability import NULL_TELEMETRY, Telemetry
+from ..parallel.arena import WorkspaceArena
+from ..parallel.backends import FFTBackend, get_backend
+from ..parallel.sharding import ShardedExecutor, choose_workers
 from ..robustness.guards import GuardPolicy, check_array
 from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
 from .kernels import StencilKernel, spectrum_cache_info
@@ -91,8 +94,24 @@ def _cached_plan(
     config: StreamlineConfig,
     tile: tuple[int, ...] | None,
     telemetry: Telemetry = NULL_TELEMETRY,
+    backend: "FFTBackend | None" = None,
+    workers: int | None = None,
 ) -> "FlashFFTStencil":
-    key = (grid_shape, kernel, fused_steps, boundary, gpu, config, tile)
+    # The backend participates in the key by *name* only: every registered
+    # backend is numerically interchangeable, so two worker configurations
+    # of one provider may safely share a cached plan.
+    backend = get_backend(backend)
+    key = (
+        grid_shape,
+        kernel,
+        fused_steps,
+        boundary,
+        gpu,
+        config,
+        tile,
+        backend.name,
+        workers,
+    )
     with _plan_cache_lock:
         plan = _plan_cache.get(key)
         if plan is not None:
@@ -110,6 +129,8 @@ def _cached_plan(
         gpu=gpu,
         config=config,
         tile=tile,
+        backend=backend,
+        workers=workers,
     )
     # Cache-owned plans are shared across callers and must never be
     # mutated (see FlashFFTStencil.apply / run).
@@ -199,6 +220,22 @@ class FlashFFTStencil:
         §3.3 technique switches (all on by default).
     tile:
         Override the auto-tuned valid-tile shape ``S`` (per-axis ints).
+    backend:
+        FFT provider: an :class:`~repro.parallel.backends.FFTBackend`, a
+        registry name (``"numpy"``, ``"scipy"``, ``"scipy:4"``), or
+        ``None`` — which consults ``$REPRO_FFT_BACKEND`` and defaults to
+        ``numpy``.  All providers agree to ≤1e-12 max-abs.
+    workers:
+        Sharded-execution worker count.  ``None`` autotunes from the
+        plan's segment count and the visible CPUs (``$REPRO_WORKERS``
+        overrides); ``1`` forces the serial path; ``N > 1`` runs
+        split→fuse→stitch shards on a thread pool — bit-identical to
+        serial, since overlap-save windows are independent (§3.1).
+    arena:
+        When ``True`` (default), steady-state applications gather into a
+        pooled :class:`~repro.parallel.arena.WorkspaceArena`, eliminating
+        per-application window/pad allocations.  ``False`` restores the
+        allocate-per-call behaviour (benchmark baseline).
     """
 
     def __init__(
@@ -210,6 +247,9 @@ class FlashFFTStencil:
         gpu: GPUSpec = A100,
         config: StreamlineConfig = StreamlineConfig(),
         tile: int | Sequence[int] | None = None,
+        backend: "FFTBackend | str | None" = None,
+        workers: int | None = None,
+        arena: bool = True,
     ) -> None:
         if isinstance(grid_shape, (int, np.integer)):
             grid_shape = (int(grid_shape),)
@@ -265,6 +305,12 @@ class FlashFFTStencil:
         #: True for plans owned by the module-level cache: those are shared
         #: across callers and must stay immutable after construction.
         self._cache_owned = False
+        # ---- throughput engine -------------------------------------
+        self._backend = get_backend(backend)
+        self._workers_requested = workers
+        self._arena_enabled = bool(arena)
+        self._arena_pool: list[WorkspaceArena] = []
+        self._arena_lock = threading.Lock()
 
     # ------------------------------------------------------------ properties
 
@@ -289,6 +335,51 @@ class FlashFFTStencil:
         propagated back here (the cache-shared tail plan itself is never
         mutated)."""
         return self._last_result
+
+    @property
+    def backend(self) -> FFTBackend:
+        """The FFT provider every transform of this plan routes through."""
+        return self._backend
+
+    @cached_property
+    def effective_workers(self) -> int:
+        """The resolved shard-worker count (autotuned when not requested)."""
+        return choose_workers(
+            self.segments.total_segments, self._workers_requested
+        )
+
+    @cached_property
+    def _shard_executor(self) -> ShardedExecutor | None:
+        """Sharded split→fuse→stitch engine, or ``None`` on the serial path."""
+        if self.effective_workers <= 1:
+            return None
+        return ShardedExecutor(
+            self.segments, self.effective_workers, self._backend
+        )
+
+    # ------------------------------------------------------- arena pool
+    #
+    # Steady-state applications check a WorkspaceArena out of a small
+    # per-plan pool and return it when done: single-threaded loops reuse
+    # one arena forever (zero per-application allocation), concurrent
+    # callers each get their own, and the pool cap bounds retained memory.
+
+    _ARENA_POOL_MAX = 2
+
+    def _arena_acquire(self) -> WorkspaceArena | None:
+        if not self._arena_enabled:
+            return None
+        with self._arena_lock:
+            if self._arena_pool:
+                return self._arena_pool.pop()
+        return WorkspaceArena(self.segments)
+
+    def _arena_release(self, arena: WorkspaceArena | None) -> None:
+        if arena is None:
+            return
+        with self._arena_lock:
+            if len(self._arena_pool) < self._ARENA_POOL_MAX:
+                self._arena_pool.append(arena)
 
     @cached_property
     def executor(self) -> TCUStencilExecutor:
@@ -388,6 +479,15 @@ class FlashFFTStencil:
         mutating the shared plan.  ``guards``/``injector`` (robustness
         layer) validate / sabotage the stage boundaries; both default to
         absent so the plain hot path pays nothing.
+
+        Execution engine selection: when the plan resolved ``workers > 1``
+        the split→fuse→stitch block runs sharded (bit-identical — see
+        :mod:`repro.parallel.sharding`); the serial path is kept for the
+        TCU emulation, for robustness hooks that need whole-batch stage
+        arrays (stage guards, fault injection), and for in-place ``out``
+        aliasing, whose consume-before-write ordering sharding cannot
+        honour.  Both paths gather into a pooled workspace arena, making
+        the steady state allocation-free outside the FFT transients.
         """
         grid = _as_grid(grid)
         if grid.shape != self.grid_shape:
@@ -399,28 +499,48 @@ class FlashFFTStencil:
             grid = injector.visit("input", grid, apply_index, tel)
         if guarded and guards.check_inputs:
             grid = check_array(grid, "grid", guards, tel)
-        with tel.span("split"):
-            windows = self.segments.split(grid)
-        if injector is not None:
-            windows = injector.visit("split", windows, apply_index, tel)
-        if guarded and guards.check_stages:
-            windows = check_array(windows, "split windows", guards, tel)
-        result = None
-        if emulate_tcu:
-            with tel.span("fuse"):
-                result = self.executor.run(windows, telemetry=tel)
-            fused = result.output
-        else:
-            with tel.span("fuse"):
-                fused = self.segments.fuse(windows)
-            if tel.enabled:
-                tel.count("fft_batches", 1)
-        if injector is not None:
-            fused = injector.visit("fuse", fused, apply_index, tel)
-        if guarded and guards.check_stages:
-            fused = check_array(fused, "fused windows", guards, tel)
-        with tel.span("stitch"):
-            out = self.segments.stitch(fused, out=out)
+        arena = self._arena_acquire()
+        try:
+            result = None
+            sharded = (
+                self._shard_executor is not None
+                and not emulate_tcu
+                and injector is None
+                and not (guarded and guards.check_stages)
+                and (out is None or not np.shares_memory(grid, out))
+            )
+            if sharded:
+                out = self._shard_executor.apply(
+                    grid, out=out, arena=arena, telemetry=tel
+                )
+            else:
+                with tel.span("split"):
+                    windows = self.segments.split(
+                        grid,
+                        out=arena.windows if arena is not None else None,
+                        scratch=arena.padded if arena is not None else None,
+                    )
+                if injector is not None:
+                    windows = injector.visit("split", windows, apply_index, tel)
+                if guarded and guards.check_stages:
+                    windows = check_array(windows, "split windows", guards, tel)
+                if emulate_tcu:
+                    with tel.span("fuse"):
+                        result = self.executor.run(windows, telemetry=tel)
+                    fused = result.output
+                else:
+                    with tel.span("fuse"):
+                        fused = self.segments.fuse(windows, backend=self._backend)
+                    if tel.enabled:
+                        tel.count("fft_batches", 1)
+                if injector is not None:
+                    fused = injector.visit("fuse", fused, apply_index, tel)
+                if guarded and guards.check_stages:
+                    fused = check_array(fused, "fused windows", guards, tel)
+                with tel.span("stitch"):
+                    out = self.segments.stitch(fused, out=out)
+        finally:
+            self._arena_release(arena)
         if injector is not None:
             out = injector.visit("stitch", out, apply_index, tel)
         if tel.enabled:
@@ -441,6 +561,25 @@ class FlashFFTStencil:
         through the module-level cache, which must never be mutated."""
         if result is not None and not self._cache_owned:
             self._last_result = result
+
+    def _tail_plan(
+        self, rem: int, telemetry: Telemetry = NULL_TELEMETRY
+    ) -> "FlashFFTStencil":
+        """The cache-shared plan for a remainder fusion depth ``rem``,
+        inheriting this plan's config, tile override, FFT backend, and
+        worker setting."""
+        return _cached_plan(
+            self.grid_shape,
+            self.kernel,
+            rem,
+            self.segments.boundary,
+            self.gpu,
+            self.config,
+            self._tile_override,
+            telemetry=telemetry,
+            backend=self._backend,
+            workers=self._workers_requested,
+        )
 
     def run(
         self,
@@ -491,16 +630,7 @@ class FlashFFTStencil:
             self._store_result(result)
             which ^= 1
         if rem:
-            tail = _cached_plan(
-                self.grid_shape,
-                self.kernel,
-                rem,
-                self.segments.boundary,
-                self.gpu,
-                self.config,
-                self._tile_override,
-                telemetry=tel,
-            )
+            tail = self._tail_plan(rem, tel)
             # The tail plan is cache-shared: run its body without mutating
             # it and keep the streamline result on *this* plan.
             with tel.span("tail"):
@@ -510,6 +640,58 @@ class FlashFFTStencil:
             tel.record_cache("plan_cache", **plan_cache_info())
             tel.record_cache("spectrum_cache", **spectrum_cache_info())
         return cur
+
+    # ------------------------------------------------ batched multi-grid
+
+    def apply_many(
+        self,
+        grids,
+        out: np.ndarray | None = None,
+        *,
+        double_layer: bool = False,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """One fused application of B independent same-shape grids.
+
+        The B window batches are stacked into a single ``(B *
+        total_segments, *local_shape)`` batch, so one split → FFT →
+        multiply → iFFT → stitch pass serves every grid — bit-identical to
+        B separate :meth:`apply` calls.  ``double_layer=True`` packs grid
+        pairs into the real/imaginary layers of one complex pass
+        (Double-layer Filling, §3.2.3; ≤1e-12 of the real path).  See
+        :func:`repro.parallel.batch.apply_many`.
+        """
+        from ..parallel.batch import apply_many as _apply_many
+
+        return _apply_many(
+            self, grids, out=out, double_layer=double_layer, telemetry=telemetry
+        )
+
+    def run_many(
+        self,
+        grids,
+        total_steps: int,
+        *,
+        double_layer: bool = False,
+        workers: int | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """Advance B independent grids ``total_steps`` steps in batched
+        passes (remainder handled by the cached tail plan, as in
+        :meth:`run`); ``workers`` shards the grid axis across a thread
+        pool.  Returns a ``(B, *grid_shape)`` stack.  See
+        :func:`repro.parallel.batch.run_many`.
+        """
+        from ..parallel.batch import run_many as _run_many
+
+        return _run_many(
+            self,
+            grids,
+            total_steps,
+            double_layer=double_layer,
+            workers=workers,
+            telemetry=telemetry,
+        )
 
     # -------------------------------------------------- fault-tolerant run
 
@@ -599,17 +781,7 @@ class FlashFFTStencil:
 
         apps: list[tuple[FlashFFTStencil, int]] = [(self, self.fused_steps)] * full
         if rem:
-            tail = _cached_plan(
-                self.grid_shape,
-                self.kernel,
-                rem,
-                self.segments.boundary,
-                self.gpu,
-                self.config,
-                self._tile_override,
-                telemetry=tel,
-            )
-            apps.append((tail, rem))
+            apps.append((self._tail_plan(rem, tel), rem))
 
         sentinel = DriftSentinel(rb.sentinel) if rb.sentinel is not None else None
         store = rb.checkpoint_store

@@ -42,6 +42,7 @@ import numpy as np
 from scipy.fft import next_fast_len
 
 from ..errors import BoundaryError, KernelError
+from ..parallel.backends import FFTBackend, get_backend
 from .kernels import StencilKernel
 from .reference import Boundary, run_stencil
 
@@ -54,8 +55,14 @@ def fft_stencil_periodic(
     steps: int = 1,
     *,
     fused: bool = True,
+    backend: "FFTBackend | str | None" = None,
 ) -> np.ndarray:
-    """FFT stencil on a periodic grid; exact (to FP64) for any ``steps``."""
+    """FFT stencil on a periodic grid; exact (to FP64) for any ``steps``.
+
+    ``backend`` selects the FFT provider (see
+    :func:`repro.parallel.backends.get_backend`); the default resolves
+    ``$REPRO_FFT_BACKEND`` and falls back to ``np.fft``.
+    """
     grid = np.asarray(grid, dtype=np.float64)
     if grid.ndim != kernel.ndim:
         raise KernelError(
@@ -65,23 +72,25 @@ def fft_stencil_periodic(
         raise KernelError(f"steps must be >= 0, got {steps}")
     if steps == 0:
         return grid.copy()
+    be = get_backend(backend)
     # Real input: run the transform as rfftn/irfftn against the half
     # spectrum — half the FFT flops, identical numbers to ~1e-15.
     half = grid.shape[-1] // 2 + 1
     spec = kernel.spectrum(grid.shape)[..., :half]
     axes = tuple(range(grid.ndim))
     if fused:
-        return np.fft.irfftn(
-            np.fft.rfftn(grid) * spec**steps, s=grid.shape, axes=axes
-        )
+        return be.irfftn(be.rfftn(grid, axes) * spec**steps, grid.shape, axes)
     out = grid
     for _ in range(steps):
-        out = np.fft.irfftn(np.fft.rfftn(out) * spec, s=grid.shape, axes=axes)
+        out = be.irfftn(be.rfftn(out, axes) * spec, grid.shape, axes)
     return out
 
 
 def _linear_convolve_fused(
-    grid: np.ndarray, kernel: StencilKernel, steps: int
+    grid: np.ndarray,
+    kernel: StencilKernel,
+    steps: int,
+    backend: "FFTBackend | None" = None,
 ) -> np.ndarray:
     """Free-space ``steps``-fold evolution restricted back to the grid.
 
@@ -89,6 +98,7 @@ def _linear_convolve_fused(
     frequency-domain power trick applied on a grid padded so no wraparound
     can alias into the valid region.
     """
+    be = get_backend(backend)
     r = kernel.radius
     band = tuple(steps * ri for ri in r)
     conv_shape = tuple(
@@ -97,8 +107,8 @@ def _linear_convolve_fused(
     half = conv_shape[-1] // 2 + 1
     spec = kernel.spectrum(conv_shape)[..., :half] ** steps
     axes = tuple(range(grid.ndim))
-    out = np.fft.irfftn(
-        np.fft.rfftn(grid, s=conv_shape, axes=axes) * spec, s=conv_shape, axes=axes
+    out = be.irfftn(
+        be.rfftn(grid, axes, s=conv_shape) * spec, conv_shape, axes
     )
     # The stencil-read convention keeps index n aligned with input index n;
     # circular wrap on the padded shape cannot reach the first `s` entries
@@ -112,6 +122,7 @@ def fft_stencil_zero(
     grid: np.ndarray,
     kernel: StencilKernel,
     steps: int = 1,
+    backend: "FFTBackend | str | None" = None,
 ) -> np.ndarray:
     """FFT stencil with zero (Dirichlet-0 reads) boundaries, exact everywhere.
 
@@ -129,8 +140,9 @@ def fft_stencil_zero(
         raise KernelError(f"steps must be >= 0, got {steps}")
     if steps == 0:
         return grid.copy()
+    be = get_backend(backend)
     if steps == 1:
-        return _linear_convolve_fused(grid, kernel, 1)
+        return _linear_convolve_fused(grid, kernel, 1, be)
 
     r = kernel.radius
     band = tuple(steps * ri for ri in r)
@@ -139,7 +151,7 @@ def fft_stencil_zero(
         # No interior worth fusing — sequential evolution is exact and cheap.
         return run_stencil(grid, kernel, steps, boundary="zero")
 
-    out = _linear_convolve_fused(grid, kernel, steps)
+    out = _linear_convolve_fused(grid, kernel, steps, be)
     # Exact boundary bands: evolve a slab of width 2*T*r per face.  The
     # outer T*r of the evolved slab is exact (its dependence cone never
     # leaves the slab); the inner T*r is discarded.
@@ -171,15 +183,16 @@ def apply_fft_stencil(
     boundary: Boundary = "periodic",
     *,
     fused: bool = True,
+    backend: "FFTBackend | str | None" = None,
 ) -> np.ndarray:
     """Dispatch to the periodic or zero-boundary FFT stencil engine."""
     if boundary == "periodic":
-        return fft_stencil_periodic(grid, kernel, steps, fused=fused)
+        return fft_stencil_periodic(grid, kernel, steps, fused=fused, backend=backend)
     if boundary == "zero":
         if not fused and steps > 1:
             out = np.asarray(grid, dtype=np.float64)
             for _ in range(steps):
-                out = fft_stencil_zero(out, kernel, 1)
+                out = fft_stencil_zero(out, kernel, 1, backend=backend)
             return out
-        return fft_stencil_zero(grid, kernel, steps)
+        return fft_stencil_zero(grid, kernel, steps, backend=backend)
     raise BoundaryError(f"unsupported boundary {boundary!r}")

@@ -31,9 +31,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..parallel.backends import FFTBackend
 
 from ..errors import PlanError
 from ..observability import NULL_TELEMETRY, Telemetry
@@ -224,40 +227,85 @@ class SegmentPlan:
 
     # ------------------------------------------------------------- execution
 
-    def split(self, grid: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
-        """Gather every input window into a ``(total_segments, *local_shape)`` batch."""
+    def window_source(
+        self, grid: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """The contiguous array ``split`` gathers windows from.
+
+        Periodic boundary: the grid itself.  Zero boundary: a zero-padded
+        copy so out-of-range indices resolve to 0 — ``out`` (optional, a
+        ``_source_shape`` buffer whose border is already zero, e.g. a
+        :class:`~repro.parallel.arena.WorkspaceArena` scratch) receives
+        the interior in place, eliminating the per-call pad allocation.
+        """
+        if self.boundary == "periodic":
+            return np.ascontiguousarray(grid)
+        if out is None:
+            return np.pad(grid, self._zero_pads)
+        interior = tuple(
+            slice(lo, lo + g)
+            for (lo, _), g in zip(self._zero_pads, self.grid_shape)
+        )
+        np.copyto(out[interior], grid)
+        return out
+
+    def split(
+        self,
+        grid: np.ndarray,
+        out: np.ndarray | None = None,
+        scratch: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Gather every input window into a ``(total_segments, *local_shape)`` batch.
+
+        ``out`` receives the window batch in place; ``scratch`` (zero
+        boundary only) is a reusable padded-source buffer — together they
+        make the steady-state split allocation-free.
+        """
         grid = np.asarray(grid, dtype=np.float64)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
-        if self.boundary == "periodic":
-            src = np.ascontiguousarray(grid)
-        else:
-            # zero boundary: read from a zero-padded copy so out-of-range
-            # indices resolve to 0.
-            src = np.pad(grid, self._zero_pads)
+        src = self.window_source(grid, out=scratch)
         return np.take(src.reshape(-1), self._gather_flat, out=out)
 
     def fused_spectrum(self) -> np.ndarray:
         """The window-local fused kernel spectrum ``H_L ** steps`` (cached)."""
         return self.kernel.temporal_spectrum(self.local_shape, self.steps)
 
-    def fuse(self, windows: np.ndarray) -> np.ndarray:
+    def fuse(
+        self,
+        windows: np.ndarray,
+        backend: "FFTBackend | None" = None,
+    ) -> np.ndarray:
         """Per-window FFT -> multiply -> iFFT, batched over the segment axis.
 
         Fast path: the windows are real, so the transform runs as
         ``rfftn``/``irfftn`` over the spatial axes against the cached
         half-spectrum — roughly half the FFT flops of the complex path, and
         bit-compatible with :meth:`_fuse_reference` to ~1e-15.
+
+        The leading axis may be any multiple of ``total_segments`` (the
+        batched multi-grid path stacks B window batches); each row
+        transforms independently, so batching never changes the numbers.
+        ``backend`` (optional :class:`~repro.parallel.backends.FFTBackend`)
+        swaps the transform provider; ``None`` is the ``np.fft`` default.
         """
-        if windows.shape != (self.total_segments,) + self.local_shape:
+        if (
+            windows.ndim != 1 + len(self.local_shape)
+            or windows.shape[1:] != self.local_shape
+            or windows.shape[0] % self.total_segments != 0
+        ):
             raise PlanError(
-                f"windows shape {windows.shape} != "
-                f"{(self.total_segments,) + self.local_shape}"
+                f"windows shape {windows.shape} is not a batch of "
+                f"{(self.total_segments,) + self.local_shape} windows"
             )
         axes = tuple(range(1, windows.ndim))
-        spec = np.fft.rfftn(windows, axes=axes)
+        if backend is None:
+            spec = np.fft.rfftn(windows, axes=axes)
+            spec *= self._half_spectrum
+            return np.fft.irfftn(spec, s=self.local_shape, axes=axes)
+        spec = backend.rfftn(windows, axes)
         spec *= self._half_spectrum
-        return np.fft.irfftn(spec, s=self.local_shape, axes=axes)
+        return backend.irfftn(spec, self.local_shape, axes)
 
     def stitch(self, fused: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         """Collect each window's valid interior back into a full grid.

@@ -206,14 +206,64 @@ class WaveFFTPlan:
 
     # ------------------------------------------------------------- stepping
 
-    def _fuse(self, prev_f: np.ndarray, curr_f: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    @cached_property
+    def _companion_half(self) -> np.ndarray:
+        """The companion power sliced to the last-axis half spectrum.
+
+        The state fields are real, so their transforms satisfy conjugate
+        symmetry and the evolution runs on ``rfftn`` half spectra —
+        halving FFT flops exactly as the first-order engine's cached
+        half-spectrum does.  The slice targets the last *spatial* axis
+        (the companion's trailing two axes are the 2x2 matrix).
+        """
+        shape = (
+            self.grid_shape if self._segments is None else self._segments.local_shape
+        )
+        half = shape[-1] // 2 + 1
+        return np.ascontiguousarray(self._companion[..., :half, :, :])
+
+    def _fuse(
+        self,
+        prev_f: np.ndarray,
+        curr_f: np.ndarray,
+        companion: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Apply the fused companion power in the frequency domain."""
-        m = self._companion
+        m = self._companion if companion is None else companion
         new_curr = m[..., 0, 0] * curr_f + m[..., 0, 1] * prev_f
         new_prev = m[..., 1, 0] * curr_f + m[..., 1, 1] * prev_f
         return new_prev, new_curr
 
     def _apply_whole(self, prev: np.ndarray, curr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        axes = tuple(range(prev.ndim))
+        pf = np.fft.rfftn(prev, axes=axes)
+        cf = np.fft.rfftn(curr, axes=axes)
+        npf, ncf = self._fuse(pf, cf, self._companion_half)
+        return (
+            np.fft.irfftn(npf, s=prev.shape, axes=axes),
+            np.fft.irfftn(ncf, s=curr.shape, axes=axes),
+        )
+
+    def _apply_tiled(self, prev: np.ndarray, curr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        seg = self._segments
+        assert seg is not None
+        wp = seg.split(prev)
+        wc = seg.split(curr)
+        axes = tuple(range(1, wp.ndim))
+        pf = np.fft.rfftn(wp, axes=axes)
+        cf = np.fft.rfftn(wc, axes=axes)
+        npf, ncf = self._fuse(pf, cf, self._companion_half)
+        return (
+            seg.stitch(np.fft.irfftn(npf, s=seg.local_shape, axes=axes)),
+            seg.stitch(np.fft.irfftn(ncf, s=seg.local_shape, axes=axes)),
+        )
+
+    # Preserved complex-transform path: the pre-rFFT behaviour, kept so
+    # tests can assert the half-spectrum fast path is bit-compatible.
+
+    def _apply_whole_reference(
+        self, prev: np.ndarray, curr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         axes = tuple(range(prev.ndim))
         pf = np.fft.fftn(prev, axes=axes)
         cf = np.fft.fftn(curr, axes=axes)
@@ -223,7 +273,9 @@ class WaveFFTPlan:
             np.real(np.fft.ifftn(ncf, axes=axes)),
         )
 
-    def _apply_tiled(self, prev: np.ndarray, curr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    def _apply_tiled_reference(
+        self, prev: np.ndarray, curr: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
         seg = self._segments
         assert seg is not None
         wp = seg.split(prev)

@@ -161,6 +161,39 @@ class Telemetry:
             return evs
         return [e for e in evs if e["event"] == name]
 
+    # -------------------------------------------------------------- merge
+
+    def merge(self, other: "Telemetry | Mapping[str, Any]") -> None:
+        """Fold another sink (or a prior ``snapshot()``) into this one.
+
+        The sharded executor and batched serving give every worker thread
+        a *private* sink and merge at join — per-worker recording with a
+        single locked update per shard, instead of contending on one lock
+        at every span/counter in the hot loop.  Spans and counters
+        accumulate; cache stats take the incoming (newer) snapshot; events
+        append under the usual ``EVENT_LIMIT`` cap.
+        """
+        snap = other.snapshot() if isinstance(other, Telemetry) else dict(other)
+        with self._lock:
+            for path, rec in snap.get("spans", {}).items():
+                mine = self._spans.get(path)
+                if mine is None:
+                    mine = self._spans[path] = {"total_s": 0.0, "calls": 0}
+                mine["total_s"] += float(rec["total_s"])
+                mine["calls"] += int(rec["calls"])
+            for name, n in snap.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(n)
+            for name, stats in snap.get("caches", {}).items():
+                self._caches[name] = dict(stats)
+            events = snap.get("events", [])
+            if events:
+                self._events.extend(dict(e) for e in events)
+                overflow = len(self._events) - self.EVENT_LIMIT
+                if overflow > 0:
+                    del self._events[:overflow]
+                    self._events_dropped += overflow
+            self._events_dropped += int(snap.get("events_dropped", 0))
+
     # ----------------------------------------------------------- export
 
     def snapshot(self) -> dict[str, Any]:
@@ -225,6 +258,9 @@ class NullTelemetry(Telemetry):
         pass
 
     def record_cache(self, name: str, **stats: int) -> None:
+        pass
+
+    def merge(self, other: "Telemetry | Mapping[str, Any]") -> None:
         pass
 
     def event(self, name: str, **fields: Any) -> None:

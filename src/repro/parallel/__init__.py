@@ -1,0 +1,45 @@
+"""Throughput engine: sharded execution, FFT backends, batching, arenas.
+
+This subsystem turns the single-core, allocate-per-call numerical engine
+into a serving-grade throughput layer, four coordinated pieces:
+
+* :mod:`~repro.parallel.sharding` — window-batch sharding across a thread
+  pool (§3.1 window independence made parallel; bit-identical to serial);
+* :mod:`~repro.parallel.backends` — the pluggable FFT provider registry
+  (``numpy`` default, ``scipy`` with transform-level ``workers=N``,
+  ``$REPRO_FFT_BACKEND`` process override, third-party registration);
+* :mod:`~repro.parallel.batch` — batched multi-grid serving
+  (``apply_many``/``run_many``), with Double-layer complex packing;
+* :mod:`~repro.parallel.arena` — preallocated steady-state workspaces so
+  the hot loop performs no per-application gather/scatter allocations.
+
+``benchmarks/bench_throughput.py`` gates the layer's speedups and writes
+``BENCH_throughput.json``.
+"""
+
+from .arena import WorkspaceArena
+from .backends import (
+    FFTBackend,
+    NumpyFFTBackend,
+    ScipyFFTBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .batch import apply_many, run_many
+from .sharding import ShardedExecutor, choose_workers, cpu_count
+
+__all__ = [
+    "FFTBackend",
+    "NumpyFFTBackend",
+    "ScipyFFTBackend",
+    "ShardedExecutor",
+    "WorkspaceArena",
+    "apply_many",
+    "available_backends",
+    "choose_workers",
+    "cpu_count",
+    "get_backend",
+    "register_backend",
+    "run_many",
+]

@@ -1,0 +1,193 @@
+"""Pluggable FFT backend registry for the throughput engine.
+
+Every transform in the hot path — :meth:`SegmentPlan.fuse`, the whole-domain
+engines in :mod:`repro.core.spectral`, Double-layer packing in
+:mod:`repro.core.double_layer` — funnels through a :class:`FFTBackend`, so
+the FFT provider is a deployment decision, not a code change:
+
+* ``numpy`` (default) — ``np.fft`` pocketfft, single-threaded, allocation
+  behaviour the arena layer is tuned for;
+* ``scipy`` — ``scipy.fft`` pocketfft with its ``workers=N`` thread pool
+  (``scipy`` is already a hard dependency); ``scipy:-1`` spreads each
+  transform over every core, which composes with — or substitutes for —
+  segment-axis sharding depending on whether the batch or the transform
+  is the long axis.
+
+Backends are selected per plan (``FlashFFTStencil(..., backend=...)``),
+per call (``SegmentPlan.fuse(windows, backend=...)``), or process-wide via
+the environment variable ``REPRO_FFT_BACKEND`` (``"scipy"`` or
+``"scipy:4"`` to pin the worker count).  Third-party providers register
+with :func:`register_backend`; every registered backend must be
+numerically interchangeable with ``numpy`` to ≤1e-12 max-abs (both
+shipped backends are pocketfft and agree bit-for-bit in practice).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import PlanError
+
+__all__ = [
+    "FFTBackend",
+    "NumpyFFTBackend",
+    "ScipyFFTBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: Environment variable consulted when no explicit backend is requested.
+BACKEND_ENV = "REPRO_FFT_BACKEND"
+
+
+class FFTBackend:
+    """Batched N-D transforms over the trailing (spatial) axes.
+
+    The contract mirrors the four ``np.fft`` entry points the engine uses;
+    implementations must be thread-safe (the sharded executor calls them
+    concurrently from worker threads) and must treat each batch row as an
+    independent transform so sharding along the batch axis is bit-exact.
+    """
+
+    #: Registry key and the name recorded in telemetry / benchmark reports.
+    name = "abstract"
+
+    def rfftn(
+        self,
+        a: np.ndarray,
+        axes: tuple[int, ...],
+        s: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def irfftn(
+        self, a: np.ndarray, s: Sequence[int], axes: tuple[int, ...]
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def fftn(self, a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def ifftn(self, a: np.ndarray, axes: tuple[int, ...]) -> np.ndarray:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class NumpyFFTBackend(FFTBackend):
+    """The default ``np.fft`` backend — the bit-exact reference provider."""
+
+    name = "numpy"
+
+    def rfftn(self, a, axes, s=None):
+        return np.fft.rfftn(a, s=s, axes=axes)
+
+    def irfftn(self, a, s, axes):
+        return np.fft.irfftn(a, s=s, axes=axes)
+
+    def fftn(self, a, axes):
+        return np.fft.fftn(a, axes=axes)
+
+    def ifftn(self, a, axes):
+        return np.fft.ifftn(a, axes=axes)
+
+
+class ScipyFFTBackend(FFTBackend):
+    """``scipy.fft`` with its ``workers=N`` transform-level thread pool.
+
+    ``workers=None`` keeps scipy's default (one thread); ``workers=-1``
+    uses every core.  Transform-level threading parallelises *within* one
+    batched call, which helps exactly where segment-axis sharding cannot:
+    plans with few, large windows.
+    """
+
+    name = "scipy"
+
+    def __init__(self, workers: int | None = None) -> None:
+        import scipy.fft as _sp_fft  # hard dependency (pyproject)
+
+        self._fft = _sp_fft
+        self.workers = workers
+
+    def rfftn(self, a, axes, s=None):
+        return self._fft.rfftn(a, s=s, axes=axes, workers=self.workers)
+
+    def irfftn(self, a, s, axes):
+        return self._fft.irfftn(a, s=s, axes=axes, workers=self.workers)
+
+    def fftn(self, a, axes):
+        return self._fft.fftn(a, axes=axes, workers=self.workers)
+
+    def ifftn(self, a, axes):
+        return self._fft.ifftn(a, axes=axes, workers=self.workers)
+
+
+# -------------------------------------------------------------- registry
+
+_registry_lock = threading.Lock()
+_REGISTRY: dict[str, Callable[[int | None], FFTBackend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[[int | None], FFTBackend]
+) -> None:
+    """Register (or replace) a backend factory under ``name``.
+
+    ``factory`` receives the optional worker count parsed from a
+    ``"name:workers"`` spec (``None`` when unspecified) and returns a
+    ready :class:`FFTBackend`.
+    """
+    with _registry_lock:
+        _REGISTRY[str(name)] = factory
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend, sorted."""
+    with _registry_lock:
+        return tuple(sorted(_REGISTRY))
+
+
+register_backend("numpy", lambda workers=None: NumpyFFTBackend())
+register_backend("scipy", lambda workers=None: ScipyFFTBackend(workers=workers))
+
+#: Shared default instance — the zero-configuration hot path.
+NUMPY_BACKEND = NumpyFFTBackend()
+
+
+def get_backend(spec: "str | FFTBackend | None" = None) -> FFTBackend:
+    """Resolve a backend spec to an :class:`FFTBackend` instance.
+
+    ``spec`` may be an instance (returned as-is), a registry name with an
+    optional worker suffix (``"scipy"``, ``"scipy:4"``, ``"scipy:-1"``),
+    or ``None`` — which consults ``$REPRO_FFT_BACKEND`` and falls back to
+    ``numpy``.
+    """
+    if isinstance(spec, FFTBackend):
+        return spec
+    if spec is None:
+        spec = os.environ.get(BACKEND_ENV) or "numpy"
+        if spec == "numpy":
+            return NUMPY_BACKEND
+    name, _, arg = str(spec).partition(":")
+    workers: int | None = None
+    if arg:
+        try:
+            workers = int(arg)
+        except ValueError:
+            raise PlanError(
+                f"bad FFT backend spec {spec!r}: worker suffix must be an int"
+            ) from None
+    with _registry_lock:
+        factory = _REGISTRY.get(name)
+    if factory is None:
+        raise PlanError(
+            f"unknown FFT backend {name!r}; registered: "
+            f"{', '.join(available_backends())}"
+        )
+    return factory(workers)

@@ -32,7 +32,7 @@ def test_every_example_is_covered():
         "seismic_smoothing_3d.py",
         "temporal_fusion_sweep.py",
         "acoustic_wave_2d.py",
-        "multi_gpu_scaling.py",
+        "throughput_serving.py",
         "gpu_model_tour.py",
     }
 
