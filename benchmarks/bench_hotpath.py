@@ -40,18 +40,22 @@ from repro.core.plan import FlashFFTStencil, plan_cache_clear, plan_cache_info
 from repro.observability import Telemetry
 from repro.workloads.configs import workload_by_name
 
+from _workloads import HEAT_CASES
+
 #: (workload name, tile override, fused steps) — one row per dimensionality
-#: by default; ``--full`` adds the remaining Table-3 rows.
+#: by default; ``--full`` adds the remaining Table-3 rows.  The heat rows
+#: come from the shared benchmark workload table (``_workloads.py``).
+_HEAT_1D, _HEAT_2D, _HEAT_3D = HEAT_CASES
 HOTPATH_CASES: tuple[tuple[str, tuple[int, ...] | None, int], ...] = (
-    ("Heat-1D", None, 8),
+    _HEAT_1D,
     ("1D5P", None, 6),
     ("1D7P", None, 4),
-    ("Heat-2D", (32, 32), 4),
+    _HEAT_2D,
     ("Box-2D9P", (32, 32), 4),
-    ("Heat-3D", (16, 16, 16), 2),
+    _HEAT_3D,
     ("Box-3D27P", (16, 16, 16), 2),
 )
-DEFAULT_CASES = ("Heat-1D", "Heat-2D", "Heat-3D")
+DEFAULT_CASES = tuple(name for name, _, _ in HEAT_CASES)
 
 
 def _time_ms(fn, reps: int, warmup: int = 5) -> float:

@@ -36,11 +36,12 @@ from repro.observability import Telemetry
 from repro.robustness import GUARDS_OFF, GuardPolicy, RobustnessConfig
 from repro.workloads.configs import workload_by_name
 
-#: (workload name, tile override, fused steps) — overhead-gate cases.
-OVERHEAD_CASES: tuple[tuple[str, tuple[int, ...] | None, int], ...] = (
-    ("Heat-1D", None, 8),
-    ("Heat-2D", (32, 32), 4),
-)
+from _workloads import HEAT_CASES
+
+#: (workload name, tile override, fused steps) — overhead-gate cases: the
+#: shared 1-D and 2-D heat rows (3-D adds wall time without exercising any
+#: additional guard path).
+OVERHEAD_CASES: tuple[tuple[str, tuple[int, ...] | None, int], ...] = HEAT_CASES[:2]
 
 #: Acceptance ceiling for default-guard overhead vs the plain fast path.
 #: ``--quick`` uses a looser bar: 3-rep medians on a shared CI runner are

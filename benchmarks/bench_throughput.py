@@ -45,13 +45,12 @@ from repro.core import kernels as kz
 from repro.core.plan import FlashFFTStencil, plan_cache_clear
 from repro.parallel import cpu_count
 
+from _workloads import HEAT_SCALING_CASES
+
 #: Large plans for the worker-scaling curve: enough first-axis tiles that
-#: every worker count below keeps whole shards busy.
-SCALING_CASES: tuple[tuple[str, tuple[int, ...], object, tuple[int, ...], int], ...] = (
-    ("heat-1d", (1 << 20,), kz.heat_1d, (4096,), 8),
-    ("heat-2d", (512, 512), kz.heat_2d, (64, 64), 4),
-    ("heat-3d", (64, 64, 64), kz.heat_3d, (32, 32, 32), 2),
-)
+#: every worker count below keeps whole shards busy (shared with the
+#: resident-iteration gate via ``_workloads.py``).
+SCALING_CASES = HEAT_SCALING_CASES
 
 WORKER_COUNTS = (1, 2, 4, 8)
 

@@ -61,17 +61,30 @@ class TunedSegment:
         return self.valid / self.length
 
 
-def _smem_demand_bytes(length: int) -> int:
+def _smem_demand_bytes(length: int, rfft: bool = False) -> int:
     """Shared memory one block needs for a length-``L`` fused window.
 
-    Complex window (16 B per element, transformed in place) plus the two PFA
-    DFT matrices (``N1^2 + N2^2`` complex; the inverses are recomputed, not
-    stored — Squeezing Registers) and the transformed kernel (``L`` complex).
+    The two PFA DFT matrices (``N1^2 + N2^2`` complex; the inverses are
+    recomputed, not stored — Squeezing Registers) are charged either way.
+    ``rfft=False`` is the original Eq. (5) model: a full complex window
+    transformed in place plus a full complex transformed kernel (16 B per
+    element each).  ``rfft=True`` matches the real-FFT fuse the engine
+    actually runs: real data transforms to the Hermitian **half-spectrum**
+    of ``L//2 + 1`` complex bins, so the block stores the real window (8 B
+    per element) alongside its half-spectrum — ``max(8L, 16(L//2+1))``,
+    since the in-place footprint is whichever layout is larger — and only
+    a half-spectrum kernel.  Charging the full spectrum overstates demand
+    by ~2x and makes Eq. (5) stop one ``a`` short of the true capacity.
     """
     n1, n2 = best_coprime_split(length)
-    window = length * 16
     matrices = (n1 * n1 + n2 * n2) * 16
-    kf = length * 16
+    if rfft:
+        half = length // 2 + 1
+        window = max(8 * length, 16 * half)
+        kf = 16 * half
+    else:
+        window = 16 * length
+        kf = 16 * length
     return window + matrices + kf
 
 
@@ -104,7 +117,7 @@ def choose_segment_length(
             continue
         if not coprime_splits(length):
             continue
-        smem = _smem_demand_bytes(length)
+        smem = _smem_demand_bytes(length, rfft=True)
         if smem * blocks_per_sm > spec.smem_per_sm_bytes:
             break                        # demand grows with a; stop searching
         cand = TunedSegment(

@@ -27,6 +27,7 @@ the bridge from laptop-scale numerics to the paper's 512M-point benchmarks.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict
@@ -61,7 +62,24 @@ __all__ = [
     "FlashFFTMeasurement",
     "plan_cache_info",
     "plan_cache_clear",
+    "resident_default",
 ]
+
+#: Environment switch for segment-resident iteration: when set truthy,
+#: ``run(..., resident=None)`` keeps the window batch resident across full
+#: applications, refreshing halos in place instead of stitching to the
+#: grid and re-gathering (see ``HaloExchangePlan``).
+_RESIDENT_ENV = "REPRO_RESIDENT"
+
+
+def resident_default() -> bool:
+    """Whether ``$REPRO_RESIDENT`` opts ``run()`` into resident iteration."""
+    return os.environ.get(_RESIDENT_ENV, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 # --------------------------------------------------------------------------
@@ -581,6 +599,95 @@ class FlashFFTStencil:
             workers=self._workers_requested,
         )
 
+    def _resolve_resident(self, resident: bool | None, emulate_tcu: bool) -> bool:
+        """Resolve the three-state ``resident`` flag against the TCU path.
+
+        The emulated executor consumes whole window batches through its
+        fragment pipeline and has no halo-refresh hook, so an *explicit*
+        ``resident=True`` with ``emulate_tcu=True`` is a caller error; the
+        ``$REPRO_RESIDENT`` environment default merely falls back to the
+        stitch-per-application path (the env var is a fleet-wide switch and
+        must not break emulation runs).
+        """
+        if resident is None:
+            return resident_default() and not emulate_tcu
+        if resident and emulate_tcu:
+            raise PlanError(
+                "resident=True is not supported with emulate_tcu=True: the "
+                "emulated TCU pipeline has no halo-refresh hook"
+            )
+        return bool(resident)
+
+    def _run_resident_block(
+        self,
+        grid: np.ndarray,
+        applications: int,
+        tel: Telemetry,
+        out: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """``applications`` fused applications with the windows resident.
+
+        One split at entry, one stitch at exit; between applications each
+        window's halo is refreshed in place from its neighbours' valid
+        regions (:class:`~repro.core.tailoring.HaloExchangePlan`) — a copy
+        that overlap-save makes **bit-identical** to stitch + re-split,
+        while moving ``stale_points`` values instead of round-tripping the
+        whole grid.  The zero-boundary band fix runs in window space
+        between fuse and exchange so refreshed halos carry the corrected
+        band.  Sharded plans run the same loop with one pool barrier per
+        application (:meth:`ShardedExecutor.run_resident`).
+        """
+        grid = _as_grid(grid)
+        if grid.shape != self.grid_shape:
+            raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
+        if applications < 1:
+            raise PlanError(f"applications must be >= 1, got {applications}")
+        arena = self._arena_acquire()
+        try:
+            if self._shard_executor is not None and (
+                out is None or not np.shares_memory(grid, out)
+            ):
+                return self._shard_executor.run_resident(
+                    grid, applications, out=out, arena=arena, telemetry=tel
+                )
+            seg = self.segments
+            ex = seg.exchange_plan()
+            halo_buf = (
+                arena.halo_scratch(ex.stale_points)
+                if arena is not None and ex.strategy == "gather"
+                else None
+            )
+            zero_fix = seg.boundary == "zero" and self.fused_steps > 1
+            with tel.span("split"):
+                cur = seg.split(
+                    grid,
+                    out=arena.windows if arena is not None else None,
+                    scratch=arena.padded if arena is not None else None,
+                )
+            for k in range(applications):
+                with tel.span("fuse"):
+                    fused = seg.fuse(cur, backend=self._backend)
+                if tel.enabled:
+                    tel.count("applications", 1)
+                    tel.count("windows", seg.total_segments)
+                    tel.count("fft_batches", 1)
+                if zero_fix:
+                    with tel.span("boundary_fix"):
+                        seg.fix_zero_boundary_band_windows(cur, fused)
+                if k + 1 < applications:
+                    with tel.span("exchange"):
+                        ex.refresh(fused, scratch=halo_buf, telemetry=tel)
+                    if tel.enabled:
+                        tel.count("hbm_round_trips_saved", 1)
+                cur = fused
+            with tel.span("stitch"):
+                out = seg.stitch(cur, out=out)
+            if tel.enabled:
+                tel.count("points_stitched", int(np.prod(self.grid_shape)))
+        finally:
+            self._arena_release(arena)
+        return out
+
     def run(
         self,
         grid: np.ndarray,
@@ -588,6 +695,7 @@ class FlashFFTStencil:
         emulate_tcu: bool = False,
         telemetry: Telemetry | None = None,
         robustness: "RobustnessConfig | None" = None,
+        resident: bool | None = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
@@ -597,6 +705,14 @@ class FlashFFTStencil:
         and tile override) rather than rebuilt per call.  The steady-state
         loop ping-pongs two output buffers, so per-application allocation is
         limited to FFT workspace.
+
+        ``resident`` opts the full applications into segment-resident
+        iteration: split once, fuse + halo-exchange per application, stitch
+        once — bit-identical to the stitch-per-application loop, but the
+        per-application grid round trip through HBM is replaced by an
+        exchange touching only ``HaloExchangePlan.stale_points`` values.
+        ``None`` (default) consults ``$REPRO_RESIDENT``; the remainder tail
+        always runs through the existing path (its fusion depth differs).
 
         ``telemetry`` (optional) is threaded through every application (the
         remainder runs under a ``tail`` span) and, at the end, receives the
@@ -609,17 +725,36 @@ class FlashFFTStencil:
         spectral result against the reference stencil and gracefully
         degrades the run to the reference path on a tolerance breach, and
         (for tests) fault injection.  ``robustness=None`` takes the plain
-        hot path — zero overhead.
+        hot path — zero overhead.  Resident iteration composes with it by
+        chunking: checkpoint, sentinel-probe, and fault sites force a
+        stitch (chunk boundary), so recovery semantics are unchanged.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        use_resident = self._resolve_resident(resident, emulate_tcu)
         if robustness is not None:
-            return self._run_robust(grid, total_steps, emulate_tcu, tel, robustness)
+            return self._run_robust(
+                grid, total_steps, emulate_tcu, tel, robustness, use_resident
+            )
         cur = _as_grid(grid)
         full, rem = divmod(total_steps, self.fused_steps)
         if full == 0 and rem == 0:
             return cur.copy()
+        if use_resident and full >= 2:
+            # Resident block for the full applications; the remainder tail
+            # has a different window geometry, so it runs through the
+            # stitched path exactly as before.
+            cur = self._run_resident_block(cur, full, tel)
+            if rem:
+                tail = self._tail_plan(rem, tel)
+                with tel.span("tail"):
+                    cur, result = tail._apply_impl(cur, emulate_tcu, None, tel)
+                self._store_result(result)
+            if tel.enabled:
+                tel.record_cache("plan_cache", **plan_cache_info())
+                tel.record_cache("spectrum_cache", **spectrum_cache_info())
+            return cur
         bufs = (
             np.empty(self.grid_shape, dtype=np.float64),
             np.empty(self.grid_shape, dtype=np.float64),
@@ -675,11 +810,14 @@ class FlashFFTStencil:
         double_layer: bool = False,
         workers: int | None = None,
         telemetry: Telemetry | None = None,
+        resident: bool | None = None,
     ) -> np.ndarray:
         """Advance B independent grids ``total_steps`` steps in batched
         passes (remainder handled by the cached tail plan, as in
         :meth:`run`); ``workers`` shards the grid axis across a thread
-        pool.  Returns a ``(B, *grid_shape)`` stack.  See
+        pool.  ``resident`` keeps the stacked window batch resident across
+        full applications (``None`` consults ``$REPRO_RESIDENT``).  Returns
+        a ``(B, *grid_shape)`` stack.  See
         :func:`repro.parallel.batch.run_many`.
         """
         from ..parallel.batch import run_many as _run_many
@@ -691,6 +829,7 @@ class FlashFFTStencil:
             double_layer=double_layer,
             workers=workers,
             telemetry=telemetry,
+            resident=resident,
         )
 
     # -------------------------------------------------- fault-tolerant run
@@ -747,6 +886,46 @@ class FlashFFTStencil:
         assert last is not None
         raise last
 
+    def _attempt_chunk(
+        self,
+        cur: np.ndarray,
+        applications: int,
+        buf: np.ndarray,
+        tel: Telemetry,
+        rb: "RobustnessConfig",
+        guards: "GuardPolicy | None",
+    ) -> np.ndarray:
+        """A multi-application resident chunk under the retry policy.
+
+        Chunk boundaries are placed at every fault-injection site and
+        sentinel-probe index (see :meth:`_run_robust`), so the only error
+        a chunk can surface is an output-side numerical violation — the
+        whole chunk retries as a unit, mirroring :meth:`_attempt_apply`.
+        """
+        retry = rb.retry
+        attempts = retry.attempts if retry is not None else 1
+        delay = retry.backoff_s if retry is not None else 0.0
+        guarded = guards is not None and guards.enabled
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                if tel.enabled:
+                    tel.count("stage_retries", 1)
+                if delay:
+                    time.sleep(delay)
+                    delay *= retry.backoff_factor
+            try:
+                out = self._run_resident_block(cur, applications, tel, out=buf)
+                if guarded and guards.check_outputs:
+                    out = check_array(out, "output", guards, tel)
+                if attempt and tel.enabled:
+                    tel.count("retry_recoveries", 1)
+                return out
+            except NumericalError as e:
+                last = e
+        assert last is not None
+        raise last
+
     def _run_robust(
         self,
         grid: np.ndarray,
@@ -754,6 +933,7 @@ class FlashFFTStencil:
         emulate_tcu: bool,
         tel: Telemetry,
         rb: "RobustnessConfig",
+        resident: bool = False,
     ) -> np.ndarray:
         """``run`` body under a :class:`~repro.robustness.RobustnessConfig`.
 
@@ -763,6 +943,16 @@ class FlashFFTStencil:
         (when ``fallback_to_reference``) → typed error.  Sentinel breaches
         skip straight to the reference path and degrade the rest of the
         run — corrupt output is never returned silently.
+
+        ``resident=True`` groups fault-free stretches of full applications
+        into resident chunks: a chunk boundary (i.e. a stitch back to the
+        grid) is forced at every checkpoint multiple, at each sentinel-due
+        index (the probe needs the application's own input *and* output
+        grids), and around every fault-injection site — so snapshots,
+        probes, and injected faults observe exactly the same grids as the
+        stitch-per-application path, and recovery semantics are unchanged.
+        Stage-level guards (``check_stages``) need per-stage batch arrays
+        and disable chunking entirely.
         """
         from ..robustness.checkpoint import MemoryCheckpointStore
         from ..robustness.sentinel import DriftSentinel
@@ -787,6 +977,37 @@ class FlashFFTStencil:
         store = rb.checkpoint_store
         if store is None and rb.checkpoint_every:
             store = MemoryCheckpointStore()
+
+        # ---- chunk plan: [i0, i1) ranges over the application list -----
+        chunk_ok = (
+            resident
+            and not emulate_tcu
+            and full >= 2
+            and not (guards is not None and guards.enabled and guards.check_stages)
+        )
+        if chunk_ok:
+            edges = {0, full}
+            if rb.checkpoint_every:
+                edges.update(range(0, full, rb.checkpoint_every))
+            if rb.sentinel is not None:
+                every = rb.sentinel.every
+                for j in range(full):
+                    if (j + 1) % every == 0:
+                        edges.add(j)
+                        edges.add(j + 1)
+            if rb.injector is not None:
+                for f in rb.injector.faults:
+                    if f.apply_index < full:
+                        edges.add(f.apply_index)
+                        edges.add(f.apply_index + 1)
+            cuts = sorted(e for e in edges if 0 <= e <= full)
+            chunks = list(zip(cuts[:-1], cuts[1:]))
+        else:
+            chunks = [(j, j + 1) for j in range(full)]
+        if rem:
+            chunks.append((full, full + 1))
+        start_to_chunk = {c0: idx for idx, (c0, _) in enumerate(chunks)}
+
         bufs = (
             np.empty(self.grid_shape, dtype=np.float64),
             np.empty(self.grid_shape, dtype=np.float64),
@@ -794,25 +1015,33 @@ class FlashFFTStencil:
         which = 0
         degraded = False
         restores = 0
-        i = 0
-        while i < len(apps):
-            plan_i, depth_i = apps[i]
-            if store is not None and rb.checkpoint_every and i % rb.checkpoint_every == 0:
-                store.save(i, cur)
+        ci = 0
+        while ci < len(chunks):
+            i0, i1 = chunks[ci]
+            plan_i, depth_i = apps[i0]
+            if store is not None and rb.checkpoint_every and i0 % rb.checkpoint_every == 0:
+                store.save(i0, cur)
                 if tel.enabled:
                     tel.count("checkpoint_saves", 1)
             if degraded:
-                with tel.span("reference_fallback"):
-                    nxt = plan_i.apply_reference(cur)
-                if tel.enabled:
-                    tel.count("reference_fallback_applies", 1)
-                cur = nxt
-                i += 1
+                for j in range(i0, i1):
+                    with tel.span("reference_fallback"):
+                        cur = apps[j][0].apply_reference(cur)
+                    if tel.enabled:
+                        tel.count("reference_fallback_applies", 1)
+                ci += 1
                 continue
+            singleton = i1 - i0 == 1
             try:
-                nxt, result = self._attempt_apply(
-                    plan_i, cur, emulate_tcu, bufs[which], tel, rb, i, guards
-                )
+                if singleton:
+                    nxt, result = self._attempt_apply(
+                        plan_i, cur, emulate_tcu, bufs[which], tel, rb, i0, guards
+                    )
+                else:
+                    nxt = self._attempt_chunk(
+                        cur, i1 - i0, bufs[which], tel, rb, guards
+                    )
+                    result = None
             except (FaultInjected, NumericalError) as e:
                 if (
                     isinstance(e, FaultInjected)
@@ -825,24 +1054,40 @@ class FlashFFTStencil:
                     if tel.enabled:
                         tel.count("checkpoint_restores", 1)
                         tel.event("checkpoint_restored", apply_index=i)
+                    # Snapshots taken by this run land on chunk starts; a
+                    # pre-populated external store may not — re-cut the
+                    # chunk containing the snapshot so replay starts there.
+                    if i not in start_to_chunk:
+                        recut: list[tuple[int, int]] = []
+                        for c0, c1 in chunks:
+                            if c0 < i < c1:
+                                recut.extend([(c0, i), (i, c1)])
+                            else:
+                                recut.append((c0, c1))
+                        chunks = recut
+                        start_to_chunk = {
+                            c0: idx for idx, (c0, _) in enumerate(chunks)
+                        }
+                    ci = start_to_chunk.get(i, len(chunks))
                     continue
                 if not rb.fallback_to_reference:
                     raise
-                with tel.span("reference_fallback"):
-                    nxt = plan_i.apply_reference(cur)
                 if tel.enabled:
-                    tel.count("reference_fallback_applies", 1)
                     tel.event(
                         "reference_fallback",
-                        apply_index=i,
+                        apply_index=i0,
                         cause=type(e).__name__,
                     )
-                cur = nxt
+                for j in range(i0, i1):
+                    with tel.span("reference_fallback"):
+                        cur = apps[j][0].apply_reference(cur)
+                    if tel.enabled:
+                        tel.count("reference_fallback_applies", 1)
                 which ^= 1
-                i += 1
+                ci += 1
                 continue
             self._store_result(result)
-            if sentinel is not None and sentinel.due(i):
+            if sentinel is not None and singleton and sentinel.due(i0):
                 if tel.enabled:
                     tel.count("sentinel_probes", 1)
                 with tel.span("sentinel"):
@@ -855,14 +1100,14 @@ class FlashFFTStencil:
                         tel.count("sentinel_fallbacks", 1)
                         tel.count("reference_fallback_applies", 1)
                         tel.event(
-                            "sentinel_breach", apply_index=i, drift=drift
+                            "sentinel_breach", apply_index=i0, drift=drift
                         )
                     with tel.span("reference_fallback"):
                         nxt = plan_i.apply_reference(cur)
                     degraded = True
             cur = nxt
             which ^= 1
-            i += 1
+            ci += 1
         if tel.enabled:
             tel.record_cache("plan_cache", **plan_cache_info())
             tel.record_cache("spectrum_cache", **spectrum_cache_info())

@@ -44,7 +44,7 @@ from ..robustness.guards import GuardPolicy, check_array
 from .kernels import StencilKernel, compute_spectrum
 from .reference import Boundary, run_stencil
 
-__all__ = ["SegmentPlan", "tailored_fft_stencil"]
+__all__ = ["HaloExchangePlan", "SegmentPlan", "tailored_fft_stencil"]
 
 
 @dataclass(frozen=True)
@@ -436,6 +436,62 @@ class SegmentPlan:
             out = self.fix_zero_boundary_band(np.asarray(grid, dtype=np.float64), out)
         return out
 
+    # ------------------------------------------------- resident iteration
+
+    def exchange_plan(self, strategy: str = "auto") -> "HaloExchangePlan":
+        """The :class:`HaloExchangePlan` for this geometry (cached for the
+        default ``"auto"`` strategy; explicit strategies build fresh)."""
+        if strategy == "auto":
+            return self._exchange_plan_auto
+        return HaloExchangePlan(self, strategy=strategy)
+
+    @cached_property
+    def _exchange_plan_auto(self) -> "HaloExchangePlan":
+        return HaloExchangePlan(self)
+
+    def fix_zero_boundary_band_windows(
+        self, windows_in: np.ndarray, fused: np.ndarray
+    ) -> np.ndarray:
+        """The zero-BC band fix applied in *window space* (resident loop).
+
+        Mirrors :meth:`fix_zero_boundary_band`, but the input grid is read
+        out of the resident window batch ``windows_in`` (every grid point
+        lives in exactly one window's valid region — the stitch map) and
+        the corrected band is scattered into ``fused``'s valid positions
+        only.  The halo *copies* of the band are deliberately left stale:
+        the subsequent halo exchange refreshes every halo point from its
+        owner's valid region, which propagates the fix — so band fix
+        before exchange reproduces the grid-space stitch→fix→split cycle
+        bit for bit.  Before the final stitch no exchange is needed, since
+        stitching reads exactly the valid positions written here.
+        """
+        win_flat = windows_in.reshape(-1)
+        out_flat = fused.reshape(-1)
+        stitch = self._stitch_flat
+        ndim = len(self.grid_shape)
+        for axis in range(ndim):
+            b = self.halo[axis]
+            if b == 0:
+                continue
+            g = self.grid_shape[axis]
+            sl = min(2 * b, g)
+            for side in (0, 1):
+                take = slice(0, sl) if side == 0 else slice(g - sl, g)
+                keep_w = min(b, sl)
+                keep = slice(0, keep_w) if side == 0 else slice(-keep_w, None)
+                idx_in = tuple(
+                    take if ax == axis else slice(None) for ax in range(ndim)
+                )
+                slab_pos = stitch[idx_in]
+                evolved = run_stencil(
+                    win_flat[slab_pos], self.kernel, self.steps, boundary="zero"
+                )
+                idx_keep = tuple(
+                    keep if ax == axis else slice(None) for ax in range(ndim)
+                )
+                out_flat[slab_pos[idx_keep]] = evolved[idx_keep]
+        return fused
+
     def fix_zero_boundary_band(
         self, grid: np.ndarray, out: np.ndarray
     ) -> np.ndarray:
@@ -461,6 +517,238 @@ class SegmentPlan:
                 )
                 out[idx_keep] = evolved[idx_keep]
         return out
+
+
+class HaloExchangePlan:
+    """Refresh a resident window batch's halos from neighbours' valid output.
+
+    After one fused application the window batch holds, per window, a
+    *correct valid interior* ``[R, R+S)`` and *stale halos* (the local
+    FFT's circular wrap-around).  The non-resident engine discards the
+    halos by stitching the valid interiors to the grid and re-gathering
+    windows — two full passes over HBM per application.  Because the valid
+    interiors partition the grid exactly (overlap-save), every halo point
+    of every window exists in **exactly one** neighbour's valid region, so
+    a direct window-to-window copy of those points reproduces
+    ``split(stitch(fused))`` bit for bit while touching only
+    ``total_window_points - grid_points`` values.
+
+    Two interchangeable strategies (identical numbers):
+
+    * ``"slab"`` — per-axis strided slice copies, vectorised over all
+      tiles at once.  Axis ``k`` copies full window extent along axes
+      ``< k`` (already refreshed) and valid-only extent along axes
+      ``> k``, so corner regions arrive transitively — the classic
+      sequenced halo exchange.  Requires uniform tiles (no ragged last
+      tile) with ``S >= R`` per axis, so each halo lies entirely in the
+      *adjacent* neighbour's valid region.
+    * ``"gather"`` — precomputed flat index maps built by composing the
+      gather map (window point → grid coordinate) with the stitch map
+      (grid coordinate → owner position in the fused batch), keeping only
+      the stale pairs (``src != dst``).  Handles ragged tiles, ``S < R``
+      (halos spanning several tiles), and any wrap multiplicity.
+
+    Zero boundary: out-of-domain halo points carry wrap contamination
+    after the fuse and are re-zeroed each exchange (the slab path zeroes
+    edge-tile slabs, the gather path keeps an explicit index set), exactly
+    reproducing the zero-padded split.
+    """
+
+    def __init__(self, segments: SegmentPlan, strategy: str = "auto") -> None:
+        if strategy not in ("auto", "slab", "gather"):
+            raise PlanError(
+                f"exchange strategy must be auto/slab/gather, got {strategy!r}"
+            )
+        self.segments = segments
+        uniform = all(
+            g % s == 0
+            for g, s in zip(segments.grid_shape, segments.valid_shape)
+        )
+        wide = all(s >= r for s, r in zip(segments.valid_shape, segments.halo))
+        slab_ok = uniform and wide
+        if strategy == "slab" and not slab_ok:
+            raise PlanError(
+                "slab exchange needs uniform tiles with S >= R per axis; "
+                f"grid={segments.grid_shape} tiles={segments.valid_shape} "
+                f"halo={segments.halo}"
+            )
+        self.strategy = strategy if strategy != "auto" else (
+            "slab" if slab_ok else "gather"
+        )
+
+    @cached_property
+    def stale_points(self) -> int:
+        """Halo points refreshed per exchange: ``total - grid`` (the valid
+        interiors partition the grid, so everything else is halo)."""
+        seg = self.segments
+        total = seg.total_segments * int(np.prod(seg.local_shape))
+        return total - int(np.prod(seg.grid_shape))
+
+    # ------------------------------------------------------- gather maps
+
+    @cached_property
+    def _gather_maps(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, zero_dst)`` flat index sets over the window batch.
+
+        ``dst`` enumerates the stale in-domain window points; ``src`` is
+        each one's owner position (``_stitch_flat`` at the point's grid
+        coordinate).  Self-owned points (``src == dst`` — every valid
+        interior, including the ragged last tile's) are dropped: they are
+        already correct after the fuse.  ``zero_dst`` (zero boundary only)
+        collects the out-of-domain points to re-zero.
+        """
+        seg = self.segments
+        ndim = len(seg.grid_shape)
+        coords = []
+        masks = []
+        for starts, r, l, g in zip(
+            seg.starts, seg.halo, seg.local_shape, seg.grid_shape
+        ):
+            offs = starts[:, None] - r + np.arange(l)[None, :]
+            if seg.boundary == "periodic":
+                coords.append(offs % g)
+                masks.append(None)
+            else:
+                masks.append((offs >= 0) & (offs < g))
+                coords.append(np.clip(offs, 0, g - 1))
+        full_shape = seg.num_segments + seg.local_shape
+
+        def _mesh(per_axis: list[np.ndarray]) -> list[np.ndarray]:
+            out = []
+            for ax, arr in enumerate(per_axis):
+                shape = [1] * (2 * ndim)
+                shape[ax] = arr.shape[0]
+                shape[ndim + ax] = arr.shape[1]
+                out.append(arr.reshape(shape))
+            return out
+
+        grid_flat = np.ravel_multi_index(tuple(_mesh(coords)), seg.grid_shape)
+        grid_flat = np.ascontiguousarray(
+            np.broadcast_to(grid_flat, full_shape)
+        ).reshape(-1)
+        src = seg._stitch_flat.reshape(-1)[grid_flat]
+        dst = np.arange(src.size, dtype=np.int64)
+        if seg.boundary == "zero":
+            dom = np.ones(full_shape, dtype=bool)
+            for m in _mesh(masks):
+                dom &= m
+            dom = dom.reshape(-1)
+            stale = dom & (src != dst)
+            zero_dst = np.flatnonzero(~dom)
+        else:
+            stale = src != dst
+            zero_dst = np.empty(0, dtype=np.int64)
+        # int32 indices halve the index traffic of the refresh gather.
+        idx_dtype = np.int64 if src.size > np.iinfo(np.int32).max else np.int32
+        out = (
+            src[stale].astype(idx_dtype),
+            dst[stale].astype(idx_dtype),
+            zero_dst.astype(idx_dtype),
+        )
+        for a in out:
+            a.flags.writeable = False
+        return out
+
+    # --------------------------------------------------------- execution
+
+    def refresh(
+        self,
+        batch: np.ndarray,
+        scratch: np.ndarray | None = None,
+        telemetry: Telemetry = NULL_TELEMETRY,
+    ) -> np.ndarray:
+        """Refresh every halo point of ``batch`` in place.
+
+        ``batch`` is a ``(B * total_segments, *local_shape)`` float64
+        window batch holding fused output (any ``B >= 1``; the batched
+        multi-grid path stacks B independent grids).  After the call,
+        ``batch`` equals ``split(stitch(batch))`` per grid, bit for bit.
+        ``scratch`` (optional, 1-D float64, ``>= stale_points``) absorbs
+        the gather-path temporary for ``B == 1``.
+        """
+        seg = self.segments
+        if (
+            batch.ndim != 1 + len(seg.local_shape)
+            or batch.shape[1:] != seg.local_shape
+            or batch.shape[0] % seg.total_segments != 0
+        ):
+            raise PlanError(
+                f"batch shape {batch.shape} is not a stack of "
+                f"{(seg.total_segments,) + seg.local_shape} window batches"
+            )
+        rows = batch.shape[0] // seg.total_segments
+        if self.strategy == "slab":
+            self._refresh_slab(batch, rows)
+        else:
+            self._refresh_gather(batch, rows, scratch)
+        if telemetry.enabled:
+            telemetry.count("halo_points_exchanged", rows * self.stale_points)
+        return batch
+
+    def _refresh_gather(
+        self, batch: np.ndarray, rows: int, scratch: np.ndarray | None
+    ) -> None:
+        src, dst, zero_dst = self._gather_maps
+        if rows == 1:
+            flat = batch.reshape(-1)
+            if scratch is not None and scratch.size >= src.size:
+                tmp = np.take(flat, src, out=scratch[: src.size])
+            else:
+                tmp = flat[src]
+            flat[dst] = tmp
+            if zero_dst.size:
+                flat[zero_dst] = 0.0
+        else:
+            blk = batch.reshape(rows, -1)
+            blk[:, dst] = blk[:, src]
+            if zero_dst.size:
+                blk[:, zero_dst] = 0.0
+
+    def _refresh_slab(self, batch: np.ndarray, rows: int) -> None:
+        seg = self.segments
+        ndim = len(seg.grid_shape)
+        periodic = seg.boundary == "periodic"
+        w = batch.reshape((rows,) + seg.num_segments + seg.local_shape)
+        for ax in range(ndim):
+            r = seg.halo[ax]
+            if r == 0:
+                continue
+            s = seg.valid_shape[ax]
+            l = seg.local_shape[ax]
+
+            def _at(tile_sl: slice, win_sl: slice) -> tuple:
+                # Axes < ax: full window extent (refreshed in earlier
+                # passes); axes > ax: valid-only extent — corners fill in
+                # transitively as later axes copy full earlier extents.
+                idx: list = [slice(None)] * (1 + 2 * ndim)
+                for j in range(ax + 1, ndim):
+                    idx[1 + ndim + j] = slice(
+                        seg.halo[j], seg.halo[j] + seg.valid_shape[j]
+                    )
+                idx[1 + ax] = tile_sl
+                idx[1 + ndim + ax] = win_sl
+                return tuple(idx)
+
+            # Low halo [0, r): the previous tile's valid offsets [s, s+r).
+            w[_at(slice(1, None), slice(0, r))] = w[
+                _at(slice(0, -1), slice(s, s + r))
+            ]
+            if periodic:
+                w[_at(slice(0, 1), slice(0, r))] = w[
+                    _at(slice(-1, None), slice(s, s + r))
+                ]
+            else:
+                w[_at(slice(0, 1), slice(0, r))] = 0.0
+            # High halo [r+s, l): the next tile's valid offsets [r, 2r).
+            w[_at(slice(0, -1), slice(r + s, l))] = w[
+                _at(slice(1, None), slice(r, 2 * r))
+            ]
+            if periodic:
+                w[_at(slice(-1, None), slice(r + s, l))] = w[
+                    _at(slice(0, 1), slice(r, 2 * r))
+                ]
+            else:
+                w[_at(slice(-1, None), slice(r + s, l))] = 0.0
 
 
 def tailored_fft_stencil(

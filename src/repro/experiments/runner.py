@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Callable
 
-from .extensions import accuracy, scaling
+from .extensions import accuracy, resident, scaling
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
 from .robustness import robustness
@@ -39,6 +39,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "future": future_gpus,
     "scaling": scaling,
     "accuracy": accuracy,
+    "resident": resident,
     "robustness": robustness,
     "telemetry": telemetry,
     "validate": validate,

@@ -6,9 +6,14 @@ ties achieved performance to pipeline/memory counters.  This module gives
 the host-side engine the same visibility: a :class:`Telemetry` sink records
 
 * **spans** — nested wall-time regions (``split`` / ``fuse`` / ``stitch`` /
-  ``boundary_fix`` / ``tail``), keyed by their slash-joined nesting path;
+  ``boundary_fix`` / ``tail``, plus ``exchange`` for the segment-resident
+  halo refresh that replaces stitch + re-split between fused
+  applications), keyed by their slash-joined nesting path;
 * **counters** — monotonic event counts (FFT batches, windows processed,
-  points stitched, MMA ops, cache hits/misses);
+  points stitched, MMA ops, cache hits/misses; resident iteration adds
+  ``halo_points_exchanged`` — values copied between neighbouring windows
+  per exchange — and ``hbm_round_trips_saved`` — full grid round trips the
+  resident loop avoided, one per application transition);
 * **cache stats** — point-in-time snapshots of the module-level plan cache
   and the kernel-spectrum cache;
 * **events** — a bounded log of discrete occurrences (guard violations,

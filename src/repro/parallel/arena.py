@@ -44,12 +44,23 @@ class WorkspaceArena:
     grid ``b`` owns rows ``[b * total_segments, (b+1) * total_segments)``.
     """
 
-    __slots__ = ("windows", "padded", "batch", "_geometry")
+    __slots__ = (
+        "windows",
+        "padded",
+        "batch",
+        "_geometry",
+        "_resident",
+        "_halo_scratch",
+    )
 
     def __init__(self, segments: "SegmentPlan", batch: int = 1) -> None:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.batch = int(batch)
+        # Resident-iteration buffers: allocated lazily on first use, so
+        # plans that never run resident pay nothing.
+        self._resident: np.ndarray | None = None
+        self._halo_scratch: np.ndarray | None = None
         self._geometry = (
             segments.grid_shape,
             segments.local_shape,
@@ -76,11 +87,32 @@ class WorkspaceArena:
         """A contiguous view of window rows ``[start, stop)`` (no copy)."""
         return self.windows[start:stop]
 
+    def resident_windows(self) -> np.ndarray:
+        """Second window-batch buffer for the resident ping-pong.
+
+        The sharded resident loop fuses ``windows`` into this buffer (and
+        swaps) every application; allocated once per arena lifetime.
+        """
+        if self._resident is None:
+            self._resident = np.empty_like(self.windows)
+        return self._resident
+
+    def halo_scratch(self, size: int) -> np.ndarray:
+        """A reusable 1-D float64 buffer of at least ``size`` elements —
+        the gather-strategy exchange's halo staging area."""
+        if self._halo_scratch is None or self._halo_scratch.size < size:
+            self._halo_scratch = np.empty(int(size), dtype=np.float64)
+        return self._halo_scratch
+
     def nbytes(self) -> int:
         """Total bytes held by the arena's buffers."""
         n = self.windows.nbytes
         if self.padded is not None:
             n += self.padded.nbytes
+        if self._resident is not None:
+            n += self._resident.nbytes
+        if self._halo_scratch is not None:
+            n += self._halo_scratch.nbytes
         return n
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

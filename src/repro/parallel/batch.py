@@ -163,18 +163,89 @@ def apply_many(
     return out
 
 
+def _run_many_resident(
+    plan: "FlashFFTStencil",
+    gs: list[np.ndarray],
+    full: int,
+    rem: int,
+    double_layer: bool,
+    tel: Telemetry,
+) -> np.ndarray:
+    """Serve one chunk of grids with the stacked window batch resident.
+
+    One batched split at entry and one batched stitch at exit; between the
+    ``full`` applications every grid's windows refresh their halos in
+    place through the shared :class:`~repro.core.tailoring.
+    HaloExchangePlan` (its index maps broadcast over the B stacked window
+    batches, since each batch row block is an independent grid).
+    Bit-identical to the stitch-per-application loop; the remainder runs
+    through :func:`apply_many` on the cached tail plan, as everywhere.
+    """
+    batch = len(gs)
+    seg = plan.segments
+    s = seg.total_segments
+    arena = WorkspaceArena(seg, batch=batch)
+    ex = seg.exchange_plan()
+    zero_fix = seg.boundary == "zero" and seg.steps > 1
+    cur = arena.windows
+    with tel.span("split"):
+        for b, g in enumerate(gs):
+            seg.split(g, out=cur[b * s : (b + 1) * s], scratch=arena.padded)
+    for k in range(full):
+        with tel.span("fuse"):
+            if double_layer and batch >= 2:
+                fused = _fuse_batch_packed(plan, cur, batch)
+            else:
+                fused = seg.fuse(cur, backend=plan._backend)
+        if tel.enabled:
+            tel.count("applications", 1)
+            tel.count("batched_applies", 1)
+            tel.count("grids_served", batch)
+            tel.count("windows", batch * s)
+            tel.count("fft_batches", 1)
+        if zero_fix:
+            with tel.span("boundary_fix"):
+                for b in range(batch):
+                    seg.fix_zero_boundary_band_windows(
+                        cur[b * s : (b + 1) * s], fused[b * s : (b + 1) * s]
+                    )
+        if k + 1 < full:
+            with tel.span("exchange"):
+                ex.refresh(fused, telemetry=tel)
+            if tel.enabled:
+                tel.count("hbm_round_trips_saved", 1)
+        cur = fused
+    out = np.empty((batch,) + plan.grid_shape, dtype=np.float64)
+    with tel.span("stitch"):
+        for b in range(batch):
+            slab = cur[b * s : (b + 1) * s]
+            np.take(slab.reshape(-1), seg._stitch_flat, out=out[b])
+    if tel.enabled:
+        tel.count("points_stitched", batch * int(np.prod(plan.grid_shape)))
+    if rem:
+        tail = plan._tail_plan(rem, tel)
+        with tel.span("tail"):
+            out = apply_many(
+                tail, out, double_layer=double_layer, telemetry=tel
+            )
+    return out
+
+
 def _run_many_chunk(
     plan: "FlashFFTStencil",
     gs: list[np.ndarray],
     total_steps: int,
     double_layer: bool,
     tel: Telemetry,
+    resident: bool = False,
 ) -> np.ndarray:
     """Serve one chunk of grids end-to-end (serial over applications)."""
     batch = len(gs)
     full, rem = divmod(total_steps, plan.fused_steps)
     if full == 0 and rem == 0:
         return np.stack(gs)
+    if resident and full >= 2:
+        return _run_many_resident(plan, gs, full, rem, double_layer, tel)
     arena = WorkspaceArena(plan.segments, batch=batch)
     bufs = (
         np.empty((batch,) + plan.grid_shape, dtype=np.float64),
@@ -212,6 +283,7 @@ def run_many(
     double_layer: bool = False,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    resident: bool | None = None,
 ) -> np.ndarray:
     """Advance B independent grids by ``total_steps`` in batched passes.
 
@@ -220,17 +292,26 @@ def run_many(
     overheads across the batch.  ``workers`` shards the *grid axis*: each
     worker serves a disjoint tenant chunk end-to-end (defaults to the
     :func:`~repro.parallel.sharding.choose_workers` autotune over the
-    stacked segment count; small batches run serial).
+    stacked segment count; small batches run serial).  ``resident`` keeps
+    each chunk's stacked window batch resident across full applications —
+    halo exchange instead of stitch + re-split, still bit-identical —
+    and ``None`` consults ``$REPRO_RESIDENT``.
     """
     if total_steps < 0:
         raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+    if resident is None:
+        from ..core.plan import resident_default
+
+        resident = resident_default()
     gs = _as_grid_list(plan, grids)
     batch = len(gs)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     w = choose_workers(batch * plan.segments.total_segments, workers)
     w = min(w, batch)
     if w <= 1:
-        return _run_many_chunk(plan, gs, total_steps, double_layer, tel)
+        return _run_many_chunk(
+            plan, gs, total_steps, double_layer, tel, resident
+        )
     chunks = [c for c in np.array_split(np.arange(batch), w) if len(c)]
     enabled = tel.enabled
 
@@ -242,6 +323,7 @@ def run_many(
             total_steps,
             double_layer,
             wtel,
+            resident,
         )
         return chunk, res, wtel
 

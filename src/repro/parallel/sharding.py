@@ -236,3 +236,119 @@ class ShardedExecutor:
                 "sharding", workers=self.workers, shards=self.num_shards
             )
         return out
+
+    def run_resident(
+        self,
+        grid: np.ndarray,
+        applications: int,
+        out: np.ndarray | None = None,
+        arena: "WorkspaceArena | None" = None,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """``applications`` fused applications with the window batch resident.
+
+        One sharded split at entry, one sharded stitch at exit.  Per
+        application each shard fuses its own window rows into the shared
+        resident buffer; the pool join is the **single barrier per
+        application**, after which the main thread runs the (cheap) halo
+        exchange — the only step whose data crosses shard boundaries, and
+        only in edge slabs of width ``halo``.  Bit-identical to
+        ``applications`` serial apply calls, exactly like :meth:`apply`.
+
+        The zero-boundary band fix runs in window space between fuse and
+        exchange (see ``SegmentPlan.fix_zero_boundary_band_windows``), so
+        the exchanged halos already carry the corrected band.
+        """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        seg = self.segments
+        if applications < 1:
+            raise PlanError(f"applications must be >= 1, got {applications}")
+        grid = np.asarray(grid, dtype=np.float64)
+        if grid.shape != seg.grid_shape:
+            raise PlanError(f"grid shape {grid.shape} != plan {seg.grid_shape}")
+        if arena is not None and not arena.fits(seg):
+            raise PlanError("arena geometry does not match this plan")
+        scratch = arena.padded if arena is not None else None
+        src = seg.window_source(grid, out=scratch)
+        src_flat = src.reshape(-1)
+        if out is None:
+            out = np.empty(seg.grid_shape, dtype=np.float64)
+        elif np.shares_memory(src, out):
+            raise PlanError("sharded run_resident: out must not alias the grid")
+        if arena is not None:
+            cur = arena.windows
+            nxt = arena.resident_windows()
+        else:
+            shape = (seg.total_segments,) + seg.local_shape
+            cur = np.empty(shape, dtype=np.float64)
+            nxt = np.empty(shape, dtype=np.float64)
+        ex = seg.exchange_plan()
+        halo_buf = (
+            arena.halo_scratch(ex.stale_points)
+            if arena is not None and ex.strategy == "gather"
+            else None
+        )
+        zero_fix = seg.boundary == "zero" and seg.steps > 1
+        enabled = tel.enabled
+
+        def _split_shard(i: int) -> Telemetry:
+            s0, s1, _, _ = self._bounds[i]
+            wtel = Telemetry() if enabled else NULL_TELEMETRY
+            with wtel.span("split"):
+                np.take(src_flat, seg._gather_flat[s0:s1], out=cur[s0:s1])
+            return wtel
+
+        def _fuse_shard(i: int) -> Telemetry:
+            s0, s1, _, _ = self._bounds[i]
+            wtel = Telemetry() if enabled else NULL_TELEMETRY
+            with wtel.span("fuse"):
+                rows = cur[s0:s1]
+                axes = tuple(range(1, rows.ndim))
+                spec = self.backend.rfftn(rows, axes)
+                spec *= seg._half_spectrum
+                np.copyto(
+                    nxt[s0:s1], self.backend.irfftn(spec, seg.local_shape, axes)
+                )
+            return wtel
+
+        def _stitch_shard(i: int) -> Telemetry:
+            s0, s1, r0, r1 = self._bounds[i]
+            wtel = Telemetry() if enabled else NULL_TELEMETRY
+            with wtel.span("stitch"):
+                np.take(cur[s0:s1].reshape(-1), self._stitch[i], out=out[r0:r1])
+            return wtel
+
+        def _barrier(task) -> None:
+            if self.num_shards == 1:
+                tels = [task(0)]
+            else:
+                tels = list(_pool(self.workers).map(task, range(self.num_shards)))
+            if enabled:
+                for wtel in tels:
+                    tel.merge(wtel)
+
+        _barrier(_split_shard)
+        for k in range(applications):
+            _barrier(_fuse_shard)
+            if enabled:
+                tel.count("applications", 1)
+                tel.count("windows", seg.total_segments)
+                tel.count("fft_batches", self.num_shards)
+                tel.count("sharded_applies", 1)
+                tel.count("shard_tasks", self.num_shards)
+            if zero_fix:
+                with tel.span("boundary_fix"):
+                    seg.fix_zero_boundary_band_windows(cur, nxt)
+            if k + 1 < applications:
+                with tel.span("exchange"):
+                    ex.refresh(nxt, scratch=halo_buf, telemetry=tel)
+                if enabled:
+                    tel.count("hbm_round_trips_saved", 1)
+            cur, nxt = nxt, cur
+        _barrier(_stitch_shard)
+        if enabled:
+            tel.count("points_stitched", int(np.prod(seg.grid_shape)))
+            tel.record_cache(
+                "sharding", workers=self.workers, shards=self.num_shards
+            )
+        return out

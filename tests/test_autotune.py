@@ -66,6 +66,48 @@ class TestSegmentLength:
             choose_segment_length(kz.star_1d7p(), steps=10_000, spec=A100)
 
 
+class TestSmemDemandModel:
+    """Eq. (5) capacity model — the rFFT mode must charge the half-spectrum."""
+
+    def test_rfft_bytes_pinned(self):
+        # L = 448 = 56 * 8 splits as (64, 7): matrices 16*(64^2 + 7^2),
+        # real window max(8*448, 16*225) = 3600, half-spectrum kernel
+        # 16*225.  Pin the exact figures so the model cannot silently
+        # regress to full-spectrum accounting.
+        from repro.core.autotune import _smem_demand_bytes
+        from repro.core.pfa import best_coprime_split
+
+        n1, n2 = best_coprime_split(448)
+        matrices = (n1 * n1 + n2 * n2) * 16
+        half = 448 // 2 + 1
+        assert _smem_demand_bytes(448, rfft=True) == (
+            max(8 * 448, 16 * half) + matrices + 16 * half
+        )
+        assert _smem_demand_bytes(448) == 16 * 448 + matrices + 16 * 448
+
+    def test_rfft_demand_below_full_spectrum(self):
+        from repro.core.autotune import _smem_demand_bytes
+
+        for a in (1, 2, 4, 8):
+            length = a * FRAGMENT_T * (FRAGMENT_T - 1)
+            assert _smem_demand_bytes(length, rfft=True) < _smem_demand_bytes(
+                length
+            )
+
+    def test_tuner_uses_rfft_model(self):
+        from repro.core.autotune import _smem_demand_bytes
+
+        tuned = choose_segment_length(kz.heat_1d(), steps=2, spec=A100)
+        assert tuned.smem_bytes == _smem_demand_bytes(tuned.length, rfft=True)
+
+    def test_rfft_model_never_shortens_segments(self):
+        # Halving the modelled window/kernel footprint can only admit
+        # longer candidates, never exclude ones the old model accepted.
+        for steps in (1, 2, 4, 8):
+            tuned = choose_segment_length(kz.heat_1d(), steps=steps, spec=A100)
+            assert tuned.length >= 56
+
+
 class TestTileShape:
     def test_2d_slice_band_fits_budget(self):
         # Slices stream along axis 0; what must fit is one transformed slice

@@ -34,6 +34,7 @@ def test_every_example_is_covered():
         "acoustic_wave_2d.py",
         "throughput_serving.py",
         "gpu_model_tour.py",
+        "resident_iteration.py",
     }
 
 

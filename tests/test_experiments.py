@@ -94,6 +94,13 @@ class TestMeasuredArtifacts:
         out = accuracy()
         assert "256" in out and "spectral radius" in out
 
+    def test_resident_extension(self):
+        from repro.experiments import resident
+
+        out = resident()
+        assert "bit-identical" in out and "trips saved" in out
+        assert "Heat-1D" in out and "Heat-3D" in out
+
     def test_future_projection_monotone(self):
         out = future_gpus()
         assert "B100" in out
