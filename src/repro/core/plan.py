@@ -329,6 +329,9 @@ class FlashFFTStencil:
         self._arena_enabled = bool(arena)
         self._arena_pool: list[WorkspaceArena] = []
         self._arena_lock = threading.Lock()
+        # ---- scale-out engine (lazy; perf state like the arena pool) --
+        self._proc_engine = None
+        self._proc_lock = threading.Lock()
 
     # ------------------------------------------------------------ properties
 
@@ -618,6 +621,56 @@ class FlashFFTStencil:
             )
         return bool(resident)
 
+    def _resolve_processes(self, processes: int | None, emulate_tcu: bool) -> int:
+        """Resolve the ``processes`` knob to an effective rank count.
+
+        ``None`` consults ``$REPRO_PROCS`` (small grids degrade to
+        serial); ``0`` autotunes; explicit ``N >= 1`` is honoured (clamped
+        to the first-axis tile count).  Like ``resident``, an *explicit*
+        multi-process request with ``emulate_tcu=True`` is a caller error,
+        while the env default silently falls back to serial — the emulated
+        pipeline runs whole window batches and has no exchange hook.
+        """
+        from ..distributed.engine import choose_processes
+
+        points = int(np.prod(self.grid_shape))
+        tiles = self.segments.num_segments[0]
+        if processes is None:
+            if emulate_tcu:
+                return 1
+            return choose_processes(points, tiles, None)
+        resolved = choose_processes(points, tiles, int(processes))
+        if resolved > 1 and emulate_tcu:
+            raise PlanError(
+                "processes > 1 is not supported with emulate_tcu=True: the "
+                "emulated TCU pipeline has no halo-refresh hook"
+            )
+        return resolved
+
+    def _process_engine(self, processes: int):
+        """The cached :class:`~repro.distributed.engine.ProcessEngine` for
+        ``processes`` ranks (worker pools persist across runs; a different
+        rank count closes the old pool and builds a new one)."""
+        from ..distributed.engine import ProcessEngine
+
+        with self._proc_lock:
+            eng = self._proc_engine
+            if eng is not None and (eng.closed or eng.processes != processes):
+                eng.close()
+                eng = self._proc_engine = None
+            if eng is None:
+                eng = self._proc_engine = ProcessEngine(
+                    self.segments, processes, backend=self._backend
+                )
+            return eng
+
+    def close_processes(self) -> None:
+        """Release this plan's worker pool and shared blocks, if any."""
+        with self._proc_lock:
+            if self._proc_engine is not None:
+                self._proc_engine.close()
+                self._proc_engine = None
+
     def _run_resident_block(
         self,
         grid: np.ndarray,
@@ -696,6 +749,7 @@ class FlashFFTStencil:
         telemetry: Telemetry | None = None,
         robustness: "RobustnessConfig | None" = None,
         resident: bool | None = None,
+        processes: int | None = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
@@ -713,6 +767,18 @@ class FlashFFTStencil:
         exchange touching only ``HaloExchangePlan.stale_points`` values.
         ``None`` (default) consults ``$REPRO_RESIDENT``; the remainder tail
         always runs through the existing path (its fusion depth differs).
+
+        ``processes`` scales the full applications out across worker
+        *processes* (:class:`~repro.distributed.engine.ProcessEngine`):
+        the global window batch lives in shared memory, each rank owns a
+        contiguous slab of window rows, and only cross-rank halo bands
+        move between applications — still bit-identical to serial.
+        ``None`` consults ``$REPRO_PROCS`` (small grids stay serial);
+        ``0`` autotunes from the visible CPUs; ``N >= 1`` is honoured.
+        The process path is inherently resident, so it supersedes the
+        ``resident`` flag for the full block; runs too short to amortise
+        dispatch (fewer than two full applications) degrade to the
+        thread/serial path.
 
         ``telemetry`` (optional) is threaded through every application (the
         remainder runs under a ``tail`` span) and, at the end, receives the
@@ -733,14 +799,35 @@ class FlashFFTStencil:
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
         use_resident = self._resolve_resident(resident, emulate_tcu)
+        use_procs = self._resolve_processes(processes, emulate_tcu)
         if robustness is not None:
             return self._run_robust(
-                grid, total_steps, emulate_tcu, tel, robustness, use_resident
+                grid,
+                total_steps,
+                emulate_tcu,
+                tel,
+                robustness,
+                use_resident,
+                use_procs,
             )
         cur = _as_grid(grid)
         full, rem = divmod(total_steps, self.fused_steps)
         if full == 0 and rem == 0:
             return cur.copy()
+        if use_procs > 1 and full >= 2:
+            # Scale-out block for the full applications; the remainder
+            # tail has a different window geometry and runs through the
+            # stitched path, exactly like the resident engine's tail.
+            cur = self._process_engine(use_procs).run(cur, full, telemetry=tel)
+            if rem:
+                tail = self._tail_plan(rem, tel)
+                with tel.span("tail"):
+                    cur, result = tail._apply_impl(cur, emulate_tcu, None, tel)
+                self._store_result(result)
+            if tel.enabled:
+                tel.record_cache("plan_cache", **plan_cache_info())
+                tel.record_cache("spectrum_cache", **spectrum_cache_info())
+            return cur
         if use_resident and full >= 2:
             # Resident block for the full applications; the remainder tail
             # has a different window geometry, so it runs through the
@@ -811,12 +898,16 @@ class FlashFFTStencil:
         workers: int | None = None,
         telemetry: Telemetry | None = None,
         resident: bool | None = None,
+        processes: int | None = None,
     ) -> np.ndarray:
         """Advance B independent grids ``total_steps`` steps in batched
         passes (remainder handled by the cached tail plan, as in
         :meth:`run`); ``workers`` shards the grid axis across a thread
         pool.  ``resident`` keeps the stacked window batch resident across
-        full applications (``None`` consults ``$REPRO_RESIDENT``).  Returns
+        full applications (``None`` consults ``$REPRO_RESIDENT``).
+        ``processes`` shards the grid axis across worker *processes*
+        instead (``None`` consults ``$REPRO_PROCS``; ``0`` autotunes) —
+        see :func:`repro.distributed.engine.run_many_processes`.  Returns
         a ``(B, *grid_shape)`` stack.  See
         :func:`repro.parallel.batch.run_many`.
         """
@@ -830,6 +921,7 @@ class FlashFFTStencil:
             workers=workers,
             telemetry=telemetry,
             resident=resident,
+            processes=processes,
         )
 
     # -------------------------------------------------- fault-tolerant run
@@ -894,6 +986,7 @@ class FlashFFTStencil:
         tel: Telemetry,
         rb: "RobustnessConfig",
         guards: "GuardPolicy | None",
+        processes: int = 1,
     ) -> np.ndarray:
         """A multi-application resident chunk under the retry policy.
 
@@ -901,6 +994,8 @@ class FlashFFTStencil:
         sentinel-probe index (see :meth:`_run_robust`), so the only error
         a chunk can surface is an output-side numerical violation — the
         whole chunk retries as a unit, mirroring :meth:`_attempt_apply`.
+        With ``processes > 1`` the chunk executes on the scale-out engine
+        (bit-identical, so checkpoints and probes see the same grids).
         """
         retry = rb.retry
         attempts = retry.attempts if retry is not None else 1
@@ -915,7 +1010,14 @@ class FlashFFTStencil:
                     time.sleep(delay)
                     delay *= retry.backoff_factor
             try:
-                out = self._run_resident_block(cur, applications, tel, out=buf)
+                if processes > 1 and applications >= 2:
+                    out = self._process_engine(processes).run(
+                        cur, applications, out=buf, telemetry=tel
+                    )
+                else:
+                    out = self._run_resident_block(
+                        cur, applications, tel, out=buf
+                    )
                 if guarded and guards.check_outputs:
                     out = check_array(out, "output", guards, tel)
                 if attempt and tel.enabled:
@@ -934,6 +1036,7 @@ class FlashFFTStencil:
         tel: Telemetry,
         rb: "RobustnessConfig",
         resident: bool = False,
+        processes: int = 1,
     ) -> np.ndarray:
         """``run`` body under a :class:`~repro.robustness.RobustnessConfig`.
 
@@ -953,6 +1056,12 @@ class FlashFFTStencil:
         stitch-per-application path, and recovery semantics are unchanged.
         Stage-level guards (``check_stages``) need per-stage batch arrays
         and disable chunking entirely.
+
+        ``processes > 1`` routes each multi-application chunk through the
+        scale-out :class:`~repro.distributed.engine.ProcessEngine` — the
+        chunk boundaries (and therefore every grid a checkpoint, probe,
+        or injected fault observes) are identical, and the engine's output
+        is bit-identical to the serial path.
         """
         from ..robustness.checkpoint import MemoryCheckpointStore
         from ..robustness.sentinel import DriftSentinel
@@ -980,7 +1089,7 @@ class FlashFFTStencil:
 
         # ---- chunk plan: [i0, i1) ranges over the application list -----
         chunk_ok = (
-            resident
+            (resident or processes > 1)
             and not emulate_tcu
             and full >= 2
             and not (guards is not None and guards.enabled and guards.check_stages)
@@ -1039,7 +1148,7 @@ class FlashFFTStencil:
                     )
                 else:
                     nxt = self._attempt_chunk(
-                        cur, i1 - i0, bufs[which], tel, rb, guards
+                        cur, i1 - i0, bufs[which], tel, rb, guards, processes
                     )
                     result = None
             except (FaultInjected, NumericalError) as e:

@@ -1,21 +1,44 @@
-"""Multi-GPU deployment layer: slab decomposition, halo exchange, scaling.
+"""Scale-out deployment layer: slab decomposition, halo exchange, the
+process-parallel engine, and the compute/communication cost model.
 
-Functional simulation (:class:`DistributedStencil` really partitions and
-exchanges; exact against single-device engines) plus a compute/communication
-cost model for strong-scaling predictions.
+:class:`ProcessEngine` is the real thing — worker processes over shared
+memory, bit-identical to serial execution; :class:`DistributedStencil`
+replays the same per-rank schedule deterministically in-process (the
+multi-GPU simulation mode); :func:`scaling_curve` and
+:func:`predict_exchange_seconds` price the traffic both of them move.
 """
 
-from .costmodel import NVLINK4, PCIE5, Interconnect, ScalingPoint, scaling_curve
+from .costmodel import (
+    HOST_SHM,
+    NVLINK4,
+    PCIE5,
+    Interconnect,
+    ScalingPoint,
+    predict_exchange_seconds,
+    scaling_curve,
+)
 from .decomposition import SlabDecomposition, exchange_halos
+from .engine import (
+    PROCS_ENV,
+    ProcessEngine,
+    choose_processes,
+    run_many_processes,
+)
 from .simulator import DistributedStencil
 
 __all__ = [
     "DistributedStencil",
+    "HOST_SHM",
     "Interconnect",
     "NVLINK4",
     "PCIE5",
+    "PROCS_ENV",
+    "ProcessEngine",
     "ScalingPoint",
     "SlabDecomposition",
+    "choose_processes",
     "exchange_halos",
+    "predict_exchange_seconds",
+    "run_many_processes",
     "scaling_curve",
 ]

@@ -23,7 +23,15 @@ from ..gpusim.roofline import execution_time
 from ..gpusim.spec import A100, GPUSpec
 from .decomposition import SlabDecomposition
 
-__all__ = ["Interconnect", "NVLINK4", "PCIE5", "ScalingPoint", "scaling_curve"]
+__all__ = [
+    "HOST_SHM",
+    "Interconnect",
+    "NVLINK4",
+    "PCIE5",
+    "ScalingPoint",
+    "predict_exchange_seconds",
+    "scaling_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -47,6 +55,27 @@ class Interconnect:
 NVLINK4 = Interconnect("NVLink4", 900.0, 8e-6)
 #: PCIe 5.0 x16 fallback.
 PCIE5 = Interconnect("PCIe5 x16", 64.0, 15e-6)
+#: Host shared memory (the process engine's transport): one memcpy through
+#: the page cache at DRAM-class bandwidth, plus a barrier's worth of
+#: scheduler latency.  Deliberately conservative — the ``distributed``
+#: experiment compares this prediction against measured exchange spans.
+HOST_SHM = Interconnect("host shm", 20.0, 5e-6)
+
+
+def predict_exchange_seconds(
+    n_bytes: int, link: Interconnect = HOST_SHM, rounds: int = 1
+) -> float:
+    """Predicted wall time for one halo exchange of ``n_bytes``.
+
+    ``rounds`` counts ring rounds (see :attr:`~repro.distributed.
+    decomposition.SlabDecomposition.exchange_rounds`): bytes are paid
+    once, latency once per round.
+    """
+    if n_bytes < 0:
+        raise PlanError(f"n_bytes must be >= 0, got {n_bytes}")
+    if rounds < 1:
+        raise PlanError(f"rounds must be >= 1, got {rounds}")
+    return n_bytes / link.bandwidth_bytes + rounds * link.latency_s
 
 
 @dataclass(frozen=True)

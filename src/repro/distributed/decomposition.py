@@ -49,10 +49,10 @@ class SlabDecomposition:
             raise PlanError(
                 f"cannot split axis-0 extent {gs[0]} over {self.ranks} ranks"
             )
-        if self.halo > min(self.slab_extents):
+        if self.boundary == "zero" and self.halo > gs[0]:
             raise PlanError(
-                f"halo {self.halo} exceeds the smallest slab "
-                f"({min(self.slab_extents)}); use fewer ranks or shallower fusion"
+                f"halo {self.halo} exceeds the axis-0 extent {gs[0]}; "
+                "shallower fusion is required for a zero boundary"
             )
 
     @cached_property
@@ -101,6 +101,43 @@ class SlabDecomposition:
         neighbours = 2 if (self.boundary == "periodic" or self.ranks > 1) else 0
         return self.halo * face * min(neighbours, 2)
 
+    @cached_property
+    def exchange_rounds(self) -> int:
+        """Neighbour hops per exchange: ``ceil(halo / min slab extent)``.
+
+        One round moves at most the nearest neighbour's full extent, so a
+        halo deeper than the thinnest slab needs rows from ranks further
+        away — each extra hop is one more ring round before the fused
+        update can proceed (and one more latency term in the cost model).
+        """
+        if self.halo == 0:
+            return 0
+        return -(-self.halo // min(self.slab_extents))
+
+    def global_rows(
+        self, slabs: list[np.ndarray], start: int, stop: int
+    ) -> np.ndarray:
+        """Rows ``[start, stop)`` of the global grid, assembled from slabs.
+
+        Out-of-range indices wrap for a periodic boundary and read as
+        zeros for a zero boundary — the receive side of a (possibly
+        multi-round) ring exchange, expressed as global index math.
+        """
+        n = self.grid_shape[0]
+        idx = np.arange(int(start), int(stop))
+        out = np.zeros((idx.size,) + self.grid_shape[1:], dtype=np.float64)
+        if self.boundary == "periodic":
+            idx = idx % n
+            valid = np.ones(idx.size, dtype=bool)
+        else:
+            valid = (idx >= 0) & (idx < n)
+        for r, slab in enumerate(slabs):
+            s, e = self.slab_starts[r], self.slab_extents[r]
+            sel = valid & (idx >= s) & (idx < s + e)
+            if sel.any():
+                out[sel] = slab[idx[sel] - s]
+        return out
+
 
 def exchange_halos(
     slabs: list[np.ndarray], deco: SlabDecomposition
@@ -108,23 +145,28 @@ def exchange_halos(
     """Return each slab extended by its neighbours' halos along axis 0.
 
     The communication pattern of a ring exchange: rank ``r`` receives the
-    last ``halo`` rows of rank ``r-1`` and the first ``halo`` rows of rank
-    ``r+1`` (wrapping for periodic boundaries, zero-filled otherwise).
+    ``halo`` rows above and below its slab (wrapping for periodic
+    boundaries, zero-filled otherwise).  When the halo is deeper than a
+    neighbouring slab the exchange runs :attr:`SlabDecomposition.
+    exchange_rounds` ring rounds, pulling rows from ranks further away —
+    the output is always the exact global neighbourhood, however thin the
+    slabs are.
     """
     if len(slabs) != deco.ranks:
         raise PlanError(f"expected {deco.ranks} slabs, got {len(slabs)}")
+    for r, (slab, e) in enumerate(zip(slabs, deco.slab_extents)):
+        if slab.shape != (e,) + deco.grid_shape[1:]:
+            raise PlanError(
+                f"rank {r} slab has shape {slab.shape}, "
+                f"expected {(e,) + deco.grid_shape[1:]}"
+            )
     h = deco.halo
     if h == 0:
         return [s.copy() for s in slabs]
     out = []
-    r_count = deco.ranks
     for r, slab in enumerate(slabs):
-        lo_src = slabs[(r - 1) % r_count][-h:]
-        hi_src = slabs[(r + 1) % r_count][:h]
-        if deco.boundary == "zero":
-            if r == 0:
-                lo_src = np.zeros_like(lo_src)
-            if r == r_count - 1:
-                hi_src = np.zeros_like(hi_src)
+        s, e = deco.slab_starts[r], deco.slab_extents[r]
+        lo_src = deco.global_rows(slabs, s - h, s)
+        hi_src = deco.global_rows(slabs, s + e, s + e + h)
         out.append(np.concatenate([lo_src, slab, hi_src], axis=0))
     return out

@@ -1,0 +1,834 @@
+"""Process-parallel scale-out engine: real multi-process slab execution.
+
+Thread sharding (:mod:`repro.parallel.sharding`) plateaus where every
+shard contends on one GIL and one pocketfft pool.  This module takes the
+same partition — contiguous first-axis tile ranges of one global
+:class:`~repro.core.tailoring.SegmentPlan` — and gives each range to a
+*process*: the window batch lives in POSIX shared memory, each worker owns
+a contiguous slab of window rows (its resident batch plus a private view
+of the ping-pong pair), and between fused applications only the
+cross-process halo bands move, through the
+:meth:`~repro.core.tailoring.HaloExchangePlan.refresh_rows` maps.
+
+The ownership argument is the resident engine's, one level up: overlap-
+save valid interiors partition the grid, so every halo point has exactly
+one owner and the restricted per-rank refreshes tile the global refresh.
+Combined with a double-buffered window batch, one barrier per application
+suffices:
+
+* ``fuse`` writes only the rank's own rows of the *next* buffer;
+* the zero-boundary band fix reads *valid* positions of the current
+  buffer (any rank's) and writes its own rows of the next — valid reads
+  never collide with concurrent halo-position writes, and cross-rank
+  valid positions were sealed before the previous barrier;
+* after the barrier, ``refresh_rows`` writes only the rank's own halo
+  positions while reading any rank's (sealed) valid positions.
+
+Each write location has a single owner per application, so the result is
+**bit-identical** to the serial engine — asserted by the test matrix and
+re-asserted by ``benchmarks/bench_distributed.py`` on every measured
+configuration.
+
+``deterministic=True`` (or one process) runs the identical per-rank
+schedule inline in the calling process — the mode
+:class:`~repro.distributed.simulator.DistributedStencil` is now a thin
+wrapper over, retaining the cost model for what-if analysis.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import traceback
+import weakref
+from multiprocessing import shared_memory
+from typing import TYPE_CHECKING, Any, Mapping, Sequence
+
+import numpy as np
+
+from ..core.tailoring import SegmentPlan
+from ..envutil import env_choice, env_positive_int
+from ..errors import PlanError
+from ..observability import NULL_TELEMETRY, Telemetry
+from ..parallel.backends import FFTBackend, get_backend
+from ..parallel.sharding import cpu_count
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.plan import FlashFFTStencil
+
+__all__ = [
+    "ProcessEngine",
+    "choose_processes",
+    "run_many_processes",
+    "PROCS_ENV",
+    "START_METHOD_ENV",
+]
+
+#: Environment override for the process count (``plan.run(processes=None)``
+#: consults it; small grids still degrade to serial, see AUTO floors).
+PROCS_ENV = "REPRO_PROCS"
+
+#: Environment override for the multiprocessing start method.
+START_METHOD_ENV = "REPRO_START_METHOD"
+
+#: ``processes=0`` (autotune) refuses to fork below this many grid points:
+#: process dispatch plus the shared-memory round trip outweighs the win.
+AUTO_MIN_POINTS = 1 << 19
+
+#: An env-forced ``$REPRO_PROCS`` keeps a lower floor — it is an explicit
+#: fleet-wide opt-in, but truly tiny grids still degrade gracefully to
+#: serial instead of paying ~ms of process dispatch per run.
+ENV_MIN_POINTS = 1 << 15
+
+
+def default_start_method() -> str:
+    """``$REPRO_START_METHOD`` or ``fork`` where available (cheapest)."""
+    method = env_choice(START_METHOD_ENV, mp.get_all_start_methods())
+    if method is not None:
+        return method
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+def choose_processes(
+    total_points: int,
+    max_ranks: int,
+    requested: int | None = None,
+) -> int:
+    """Resolve a process count for a problem of ``total_points`` points.
+
+    ``requested``: ``None`` consults ``$REPRO_PROCS`` (validated; serial
+    when unset, and grids under :data:`ENV_MIN_POINTS` degrade to serial
+    even when set); ``0`` autotunes from the visible CPU count with the
+    :data:`AUTO_MIN_POINTS` floor; ``N >= 1`` is honoured.  Every path
+    clamps to ``max_ranks`` (one process per first-axis tile at most).
+    """
+    max_ranks = max(1, int(max_ranks))
+    if requested is None:
+        env = env_positive_int(PROCS_ENV)
+        if env is None or total_points < ENV_MIN_POINTS:
+            return 1
+        return min(env, max_ranks)
+    requested = int(requested)
+    if requested < 0:
+        raise PlanError(f"processes must be >= 0, got {requested}")
+    if requested == 0:
+        if total_points < AUTO_MIN_POINTS:
+            return 1
+        return max(1, min(cpu_count(), max_ranks))
+    return min(requested, max_ranks)
+
+
+def backend_spec(backend: "FFTBackend | str | None") -> str:
+    """A picklable registry spec reproducing ``backend`` in a worker.
+
+    Workers rebuild their FFT provider by name (plus the scipy worker
+    suffix); custom providers must be registered at import time of
+    :mod:`repro.parallel.backends` in the child as well.
+    """
+    if backend is None:
+        return "numpy"
+    if isinstance(backend, str):
+        return backend
+    workers = getattr(backend, "workers", None)
+    if workers is not None:
+        return f"{backend.name}:{workers}"
+    return backend.name
+
+
+# ---------------------------------------------------------------- internals
+
+
+def _partition(segments: SegmentPlan, ranks: int) -> list[tuple[int, int, int, int]]:
+    """Per-rank ``(s0, s1, r0, r1)``: flat window-row range + output row slab.
+
+    Identical to :class:`~repro.parallel.sharding.ShardedExecutor`'s
+    partition, so the process engine's ownership geometry matches the
+    thread path's — a contiguous first-axis tile range is a contiguous
+    flat window range (C order) stitching a contiguous grid row slab.
+    """
+    n0 = segments.num_segments[0]
+    rest = segments.total_segments // n0
+    bounds: list[tuple[int, int, int, int]] = []
+    for chunk in np.array_split(np.arange(n0), ranks):
+        t0, t1 = int(chunk[0]), int(chunk[-1]) + 1
+        r1 = (
+            int(segments.starts[0][t1])
+            if t1 < n0
+            else segments.grid_shape[0]
+        )
+        bounds.append(
+            (t0 * rest, t1 * rest, int(segments.starts[0][t0]), r1)
+        )
+    return bounds
+
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned block without claiming ownership of it.
+
+    Only the parent tracks (and unlinks) these blocks.  On Python < 3.13
+    there is no ``track=False``, and the tracker's cache is a plain set
+    shared with the parent — an attach-side register/unregister pair would
+    *remove* the parent's registration (and KeyError every later one) —
+    so registration is suppressed for the duration of the attach instead.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig
+
+
+def _run_rank(
+    seg: SegmentPlan,
+    backend: FFTBackend,
+    bounds: tuple[int, int, int, int],
+    bufs: dict[str, np.ndarray],
+    applications: int,
+    barrier,
+    tel: Telemetry,
+) -> None:
+    """One rank's schedule for one run: split → (fuse/fix/exchange)* → stitch.
+
+    ``barrier`` is ``None`` in deterministic mode, where the caller
+    sequences ranks stage-by-stage instead (same data flow, one process).
+    """
+    s0, s1, r0, r1 = bounds
+    src_flat = bufs["src"].reshape(-1)
+    cur, nxt = bufs["wina"], bufs["winb"]
+    ex = seg.exchange_plan("gather")
+    zero_fix = seg.boundary == "zero" and seg.steps > 1
+    with tel.span("split"):
+        np.take(src_flat, seg._gather_flat[s0:s1], out=cur[s0:s1])
+    if barrier is not None:
+        barrier.wait()
+    for k in range(applications):
+        with tel.span("fuse"):
+            rows = cur[s0:s1]
+            axes = tuple(range(1, rows.ndim))
+            spec = backend.rfftn(rows, axes)
+            spec *= seg._half_spectrum
+            np.copyto(
+                nxt[s0:s1], backend.irfftn(spec, seg.local_shape, axes)
+            )
+        if tel.enabled:
+            tel.count("fft_batches", 1)
+        if zero_fix:
+            with tel.span("boundary_fix"):
+                seg.fix_zero_boundary_band_windows(cur, nxt, rows=(s0, s1))
+        if k + 1 < applications:
+            if barrier is not None:
+                barrier.wait()
+            with tel.span("exchange"):
+                ex.refresh_rows(nxt, (s0, s1), telemetry=tel)
+        cur, nxt = nxt, cur
+    with tel.span("stitch"):
+        np.take(
+            cur.reshape(-1), seg._stitch_flat[r0:r1], out=bufs["out"][r0:r1]
+        )
+
+
+def _worker_main(
+    rank: int,
+    spec: dict[str, Any],
+    conn,
+    barrier,
+    shm_names: dict[str, str],
+) -> None:
+    """Persistent worker loop: rebuild the plan locally, serve run commands.
+
+    Module-level (spawn-safe); the worker owns no shared memory — it
+    attaches to the parent's blocks and detaches on exit.  Errors abort
+    the barrier (releasing peers) and travel back over the pipe.
+    """
+    shms: list[shared_memory.SharedMemory] = []
+    bufs: dict[str, np.ndarray] = {}
+    try:
+        seg = SegmentPlan(
+            spec["grid_shape"],
+            spec["kernel"],
+            spec["steps"],
+            spec["tile"],
+            spec["boundary"],
+        )
+        backend = get_backend(spec["backend"])
+        bounds = _partition(seg, spec["processes"])[rank]
+        for key, shape in spec["shapes"].items():
+            shm = _attach_shm(shm_names[key])
+            shms.append(shm)
+            bufs[key] = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+        # Force the per-rank halo maps once, outside the serving loop.
+        seg.exchange_plan("gather").maps_for_rows((bounds[0], bounds[1]))
+        conn.send(("ready", None))
+        while True:
+            msg = conn.recv()
+            if msg[0] == "stop":
+                break
+            _, applications, want_tel = msg
+            tel = Telemetry() if want_tel else NULL_TELEMETRY
+            try:
+                _run_rank(seg, backend, bounds, bufs, applications, barrier, tel)
+            except Exception:
+                barrier.abort()
+                conn.send(("error", traceback.format_exc()))
+                break
+            conn.send(("done", tel.snapshot() if want_tel else None))
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - teardown
+        pass
+    except Exception:  # pragma: no cover - construction failure
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        bufs.clear()  # drop buffer views before closing their mappings
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - teardown
+                pass
+        conn.close()
+
+
+def _release(procs, conns, shms) -> None:
+    """Tear down a worker pool + shared blocks (idempotent; finalizer-safe)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=2.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+class ProcessEngine:
+    """Multi-process resident execution of one :class:`SegmentPlan`.
+
+    Parameters
+    ----------
+    segments:
+        The global plan; ranks own contiguous first-axis tile ranges.
+    processes:
+        Rank count (clamped to the first-axis tile count).
+    backend:
+        FFT provider forwarded to workers as a registry spec.
+    start_method:
+        ``fork`` / ``spawn`` / ``forkserver``; ``None`` consults
+        ``$REPRO_START_METHOD`` and prefers ``fork``.
+    deterministic:
+        Run the identical per-rank schedule inline (no processes, no
+        shared memory) — the simulator mode, also taken when the clamped
+        rank count is 1.
+
+    Workers are started lazily on first :meth:`run` and persist across
+    runs (the barrier and window buffers are reused); :meth:`close` — or
+    garbage collection — releases them.
+    """
+
+    def __init__(
+        self,
+        segments: SegmentPlan,
+        processes: int,
+        backend: "FFTBackend | str | None" = None,
+        start_method: str | None = None,
+        deterministic: bool = False,
+    ) -> None:
+        if processes < 1:
+            raise PlanError(f"processes must be >= 1, got {processes}")
+        self.segments = segments
+        self.processes = min(int(processes), segments.num_segments[0])
+        self.bounds = _partition(segments, self.processes)
+        self.deterministic = bool(deterministic) or self.processes == 1
+        self.backend_spec = backend_spec(backend)
+        self.start_method = (
+            start_method if start_method is not None else default_start_method()
+        )
+        if self.start_method not in mp.get_all_start_methods():
+            raise PlanError(
+                f"start method {self.start_method!r} unavailable; have "
+                f"{', '.join(mp.get_all_start_methods())}"
+            )
+        src_shape = (
+            segments._source_shape
+            if segments.boundary == "zero"
+            else segments.grid_shape
+        )
+        self._shapes: dict[str, tuple[int, ...]] = {
+            "src": tuple(int(n) for n in src_shape),
+            "wina": (segments.total_segments,) + segments.local_shape,
+            "winb": (segments.total_segments,) + segments.local_shape,
+            "out": segments.grid_shape,
+        }
+        self._procs: list = []
+        self._conns: list = []
+        self._shms: list[shared_memory.SharedMemory] = []
+        self._bufs: dict[str, np.ndarray] = {}
+        self._det_bufs: dict[str, np.ndarray] | None = None
+        self._barrier = None
+        self._finalizer = None
+        self.closed = False
+        self.runs_completed = 0
+
+    # ------------------------------------------------------------- stats
+
+    def cross_halo_points(self) -> int:
+        """Halo points whose owner lives in another rank (per exchange)."""
+        ex = self.segments.exchange_plan("gather")
+        return sum(
+            ex.cross_rows_points((s0, s1)) for s0, s1, _, _ in self.bounds
+        )
+
+    def cross_halo_bytes(self) -> int:
+        """Bytes crossing rank boundaries per exchange (FP64)."""
+        return 8 * self.cross_halo_points()
+
+    # -------------------------------------------------------------- pool
+
+    def _plan_spec(self) -> dict[str, Any]:
+        seg = self.segments
+        return {
+            "grid_shape": seg.grid_shape,
+            "kernel": seg.kernel,
+            "steps": seg.steps,
+            "tile": seg.valid_shape,
+            "boundary": seg.boundary,
+            "backend": self.backend_spec,
+            "processes": self.processes,
+            "shapes": self._shapes,
+        }
+
+    def _ensure_pool(self) -> None:
+        if self._procs:
+            return
+        if self.closed:
+            raise PlanError("ProcessEngine is closed")
+        ctx = mp.get_context(self.start_method)
+        names: dict[str, str] = {}
+        for key, shape in self._shapes.items():
+            nbytes = int(np.prod(shape)) * 8
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+            self._shms.append(shm)
+            arr = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+            if key == "src" and self.segments.boundary == "zero":
+                arr.fill(0.0)  # border stays zero for the engine's lifetime
+            self._bufs[key] = arr
+            names[key] = shm.name
+        self._barrier = ctx.Barrier(self.processes)
+        spec = self._plan_spec()
+        for rank in range(self.processes):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, spec, child_conn, self._barrier, names),
+                daemon=True,
+                name=f"repro-rank{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            self._procs.append(proc)
+            self._conns.append(parent_conn)
+        self._finalizer = weakref.finalize(
+            self, _release, list(self._procs), list(self._conns), list(self._shms)
+        )
+        errors = []
+        for rank in range(self.processes):
+            msg = self._recv(rank)
+            if msg[0] != "ready":
+                errors.append(f"rank {rank}: {msg[1]}")
+        if errors:
+            self.close()
+            raise PlanError(
+                "process engine worker startup failed:\n" + "\n".join(errors)
+            )
+
+    def _recv(self, rank: int):
+        """Receive one message from ``rank``, noticing silent worker death."""
+        conn, proc = self._conns[rank], self._procs[rank]
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                return (
+                    "error",
+                    f"worker rank {rank} (pid {proc.pid}) died with "
+                    f"exit code {proc.exitcode}",
+                )
+        try:
+            return conn.recv()
+        except EOFError:
+            return ("error", f"worker rank {rank} closed its pipe")
+
+    def close(self) -> None:
+        """Stop the workers and free the shared blocks (idempotent)."""
+        self.closed = True
+        self._bufs = {}  # drop views before the mappings close
+        if self._finalizer is not None:
+            self._finalizer()  # runs _release exactly once
+            self._finalizer = None
+        elif self._shms:
+            _release(self._procs, self._conns, self._shms)
+        self._procs, self._conns, self._shms = [], [], []
+        self._barrier = None
+
+    # --------------------------------------------------------------- run
+
+    def run(
+        self,
+        grid: np.ndarray,
+        applications: int,
+        out: np.ndarray | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """``applications`` fused applications; bit-identical to serial.
+
+        The grid is staged into the shared source block, workers execute
+        the resident schedule (one barrier per application), and the
+        stitched result is copied out of the shared output block into
+        ``out`` (or a fresh array) — the shared blocks are engine-owned
+        and reused across runs.
+        """
+        tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        seg = self.segments
+        grid = np.ascontiguousarray(grid, dtype=np.float64)
+        if grid.shape != seg.grid_shape:
+            raise PlanError(
+                f"grid shape {grid.shape} != plan {seg.grid_shape}"
+            )
+        if applications < 1:
+            raise PlanError(
+                f"applications must be >= 1, got {applications}"
+            )
+        if out is not None and (
+            out.shape != seg.grid_shape or out.dtype != np.float64
+        ):
+            raise PlanError(
+                f"out must be float64 {seg.grid_shape}, got "
+                f"{out.dtype} {out.shape}"
+            )
+        if self.deterministic:
+            return self._run_deterministic(grid, applications, out, tel)
+        self._ensure_pool()
+        with tel.span("scatter"):
+            if seg.boundary == "zero":
+                seg.window_source(grid, out=self._bufs["src"])
+            else:
+                np.copyto(self._bufs["src"], grid)
+        for conn in self._conns:
+            conn.send(("run", applications, tel.enabled))
+        errors: list[str] = []
+        snaps: list[Mapping[str, Any]] = []
+        for rank in range(self.processes):
+            msg = self._recv(rank)
+            if msg[0] == "done":
+                if msg[1] is not None:
+                    snaps.append(msg[1])
+            else:
+                errors.append(f"rank {rank}:\n{msg[1]}")
+                # Peers may be parked in the barrier; break them loose so
+                # their own error replies (or deaths) arrive promptly.
+                self._barrier.abort()
+        if errors:
+            self.close()
+            raise PlanError(
+                "process engine run failed:\n" + "\n".join(errors)
+            )
+        with tel.span("gather"):
+            if out is None:
+                out = np.array(self._bufs["out"])
+            else:
+                np.copyto(out, self._bufs["out"])
+        self.runs_completed += 1
+        if tel.enabled:
+            for snap in snaps:
+                tel.merge(snap)
+            self._count_run(tel, applications)
+        return out
+
+    def _run_deterministic(
+        self,
+        grid: np.ndarray,
+        applications: int,
+        out: np.ndarray | None,
+        tel: Telemetry,
+    ) -> np.ndarray:
+        """The same per-rank schedule, sequenced inline in this process.
+
+        Stage loops over ranks play the role of the barrier; the data flow
+        (and therefore the numerics) is identical to the process path,
+        which is what makes this a faithful simulator mode.
+        """
+        seg = self.segments
+        if self._det_bufs is None:
+            shape = (seg.total_segments,) + seg.local_shape
+            self._det_bufs = {
+                "wina": np.empty(shape, dtype=np.float64),
+                "winb": np.empty(shape, dtype=np.float64),
+                "out": np.empty(seg.grid_shape, dtype=np.float64),
+                "src": (
+                    np.zeros(seg._source_shape, dtype=np.float64)
+                    if seg.boundary == "zero"
+                    else np.empty(seg.grid_shape, dtype=np.float64)
+                ),
+            }
+        bufs = self._det_bufs
+        with tel.span("scatter"):
+            if seg.boundary == "zero":
+                seg.window_source(grid, out=bufs["src"])
+            else:
+                np.copyto(bufs["src"], grid)
+        backend = get_backend(self.backend_spec)
+        ex = seg.exchange_plan("gather")
+        zero_fix = seg.boundary == "zero" and seg.steps > 1
+        src_flat = bufs["src"].reshape(-1)
+        cur, nxt = bufs["wina"], bufs["winb"]
+        with tel.span("split"):
+            for s0, s1, _, _ in self.bounds:
+                np.take(src_flat, seg._gather_flat[s0:s1], out=cur[s0:s1])
+        for k in range(applications):
+            with tel.span("fuse"):
+                for s0, s1, _, _ in self.bounds:
+                    rows = cur[s0:s1]
+                    axes = tuple(range(1, rows.ndim))
+                    spec = backend.rfftn(rows, axes)
+                    spec *= seg._half_spectrum
+                    np.copyto(
+                        nxt[s0:s1],
+                        backend.irfftn(spec, seg.local_shape, axes),
+                    )
+            if tel.enabled:
+                tel.count("fft_batches", self.processes)
+            if zero_fix:
+                with tel.span("boundary_fix"):
+                    for s0, s1, _, _ in self.bounds:
+                        seg.fix_zero_boundary_band_windows(
+                            cur, nxt, rows=(s0, s1)
+                        )
+            if k + 1 < applications:
+                with tel.span("exchange"):
+                    for s0, s1, _, _ in self.bounds:
+                        ex.refresh_rows(nxt, (s0, s1), telemetry=tel)
+            cur, nxt = nxt, cur
+        with tel.span("stitch"):
+            for _, _, r0, r1 in self.bounds:
+                np.take(
+                    cur.reshape(-1),
+                    seg._stitch_flat[r0:r1],
+                    out=bufs["out"][r0:r1],
+                )
+        self.runs_completed += 1
+        if tel.enabled:
+            self._count_run(tel, applications)
+        if out is None:
+            return np.array(bufs["out"])
+        np.copyto(out, bufs["out"])
+        return out
+
+    def _count_run(self, tel: Telemetry, applications: int) -> None:
+        seg = self.segments
+        tel.count("applications", applications)
+        tel.count("windows", applications * seg.total_segments)
+        tel.count("points_stitched", int(np.prod(seg.grid_shape)))
+        tel.count("process_tasks", self.processes)
+        if applications > 1:
+            tel.count("hbm_round_trips_saved", applications - 1)
+        tel.record_cache(
+            "processes",
+            processes=self.processes,
+            deterministic=int(self.deterministic),
+            runs=self.runs_completed,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        mode = "deterministic" if self.deterministic else self.start_method
+        return (
+            f"ProcessEngine(processes={self.processes}, mode={mode}, "
+            f"grid={self.segments.grid_shape})"
+        )
+
+
+# ------------------------------------------------------- batched scale-out
+
+
+def _many_worker_main(
+    spec: dict[str, Any],
+    b0: int,
+    b1: int,
+    total_steps: int,
+    shm_names: dict[str, str],
+    batch_shape: tuple[int, ...],
+    want_tel: bool,
+    conn,
+) -> None:
+    """One-shot ``run_many`` worker: serve grids ``[b0, b1)`` end-to-end.
+
+    Grids are independent, so each worker rebuilds the plan locally and
+    runs its chunk serially (``workers=1``, ``processes=1`` — a worker
+    must never recurse into thread pools or nested process engines).
+    """
+    shms: list[shared_memory.SharedMemory] = []
+    try:
+        from ..core.plan import FlashFFTStencil
+
+        plan = FlashFFTStencil(
+            spec["grid_shape"],
+            spec["kernel"],
+            fused_steps=spec["steps"],
+            boundary=spec["boundary"],
+            tile=spec["tile"],
+            backend=spec["backend"],
+            workers=1,
+        )
+        arrs: dict[str, np.ndarray] = {}
+        for key in ("grids", "out"):
+            shm = _attach_shm(shm_names[key])
+            shms.append(shm)
+            arrs[key] = np.ndarray(
+                batch_shape, dtype=np.float64, buffer=shm.buf
+            )
+        tel = Telemetry() if want_tel else NULL_TELEMETRY
+        for b in range(b0, b1):
+            arrs["out"][b] = plan.run(
+                arrs["grids"][b],
+                total_steps,
+                telemetry=tel,
+                processes=1,
+            )
+        conn.send(("done", tel.snapshot() if want_tel else None))
+    except Exception:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        if "arrs" in locals():
+            del arrs
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+        conn.close()
+
+
+def run_many_processes(
+    plan: "FlashFFTStencil",
+    grids: Sequence[np.ndarray],
+    total_steps: int,
+    processes: int,
+    telemetry: Telemetry | None = None,
+    start_method: str | None = None,
+) -> np.ndarray:
+    """Advance B independent grids across one-shot worker processes.
+
+    The grid axis is the partition (tenants are independent — no exchange
+    at all); input and output stacks live in shared memory so the only
+    per-grid pickling is the plan spec.  Bit-identical to the serial
+    ``run_many`` path, which is itself bit-identical to per-grid ``run``.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    gs = [np.ascontiguousarray(g, dtype=np.float64) for g in grids]
+    if not gs:
+        raise PlanError("run_many needs at least one grid")
+    for b, g in enumerate(gs):
+        if g.shape != plan.grid_shape:
+            raise PlanError(
+                f"grid {b} has shape {g.shape} != plan {plan.grid_shape}"
+            )
+    batch = len(gs)
+    procs = max(1, min(int(processes), batch))
+    method = start_method if start_method is not None else default_start_method()
+    ctx = mp.get_context(method)
+    batch_shape = (batch,) + plan.grid_shape
+    nbytes = int(np.prod(batch_shape)) * 8
+    seg = plan.segments
+    spec = {
+        "grid_shape": seg.grid_shape,
+        "kernel": seg.kernel,
+        "steps": plan.fused_steps,
+        "tile": seg.valid_shape,
+        "boundary": seg.boundary,
+        "backend": backend_spec(plan.backend),
+    }
+    shm_in = shared_memory.SharedMemory(create=True, size=nbytes)
+    shm_out = shared_memory.SharedMemory(create=True, size=nbytes)
+    workers: list = []
+    conns: list = []
+    try:
+        stack = np.ndarray(batch_shape, dtype=np.float64, buffer=shm_in.buf)
+        for b, g in enumerate(gs):
+            np.copyto(stack[b], g)
+        names = {"grids": shm_in.name, "out": shm_out.name}
+        chunks = [c for c in np.array_split(np.arange(batch), procs) if len(c)]
+        for chunk in chunks:
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_many_worker_main,
+                args=(
+                    spec,
+                    int(chunk[0]),
+                    int(chunk[-1]) + 1,
+                    total_steps,
+                    names,
+                    batch_shape,
+                    tel.enabled,
+                    child_conn,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            workers.append(proc)
+            conns.append(parent_conn)
+        errors: list[str] = []
+        for i, (proc, conn) in enumerate(zip(workers, conns)):
+            while not conn.poll(0.05):
+                if not proc.is_alive():
+                    errors.append(
+                        f"chunk {i}: worker died (exit {proc.exitcode})"
+                    )
+                    break
+            else:
+                try:
+                    msg = conn.recv()
+                except EOFError:
+                    errors.append(f"chunk {i}: worker closed its pipe")
+                    continue
+                if msg[0] == "done":
+                    if msg[1] is not None:
+                        tel.merge(msg[1])
+                else:
+                    errors.append(f"chunk {i}:\n{msg[1]}")
+        if errors:
+            raise PlanError(
+                "run_many process execution failed:\n" + "\n".join(errors)
+            )
+        result = np.array(
+            np.ndarray(batch_shape, dtype=np.float64, buffer=shm_out.buf)
+        )
+        if tel.enabled:
+            tel.count("batch_worker_chunks", len(chunks))
+            tel.record_cache(
+                "batch_processes", processes=len(chunks), grids=batch
+            )
+        return result
+    finally:
+        _release(workers, conns, [shm_in, shm_out])

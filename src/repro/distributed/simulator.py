@@ -7,9 +7,17 @@ Each fused application follows the canonical distributed-stencil loop:
     3. trim the halo — the interior is exact because the exchanged halo
        covers the fused dependency cone.
 
-Every rank's local work goes through the same single-device engines tested
-elsewhere, so distributed-vs-single agreement is a pure statement about the
-decomposition/exchange logic.
+Since the scale-out engine landed, this module is a *thin deterministic
+mode of that engine*: :class:`DistributedStencil` partitions the plan's
+first-axis window tiles into one slab per simulated rank and plays the
+exact per-rank schedule of :class:`~repro.distributed.engine.
+ProcessEngine` — fuse own rows, refresh cross-rank halo bands, repeat —
+sequentially in-process.  The simulated run is therefore *bit-identical*
+to what the real multi-process engine computes (and to the single-device
+engines), so distributed-vs-single agreement is a pure statement about
+the decomposition/exchange logic, and the companion
+:mod:`repro.distributed.costmodel` prices exactly the bytes the engine
+moves (:meth:`~repro.distributed.engine.ProcessEngine.cross_halo_bytes`).
 """
 
 from __future__ import annotations
@@ -17,10 +25,11 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.kernels import StencilKernel
-from ..core.reference import Boundary, run_stencil
-from ..core.spectral import fft_stencil_periodic
+from ..core.reference import Boundary
 from ..errors import PlanError
-from .decomposition import SlabDecomposition, exchange_halos
+from ..observability import Telemetry
+from .decomposition import SlabDecomposition
+from .engine import ProcessEngine, backend_spec
 
 __all__ = ["DistributedStencil"]
 
@@ -62,70 +71,92 @@ class DistributedStencil:
         self.kernel = kernel
         self.fused_steps = int(fused_steps)
         self.boundary: Boundary = boundary
+        # The bytes-on-the-wire ledger for the cost model: same partition
+        # arithmetic the engine uses, expressed in grid rows.
         self.deco = SlabDecomposition(
             grid_shape,
             ranks,
             halo=self.fused_steps * kernel.radius[0],
             boundary=boundary,
         )
+        # One first-axis window tile per simulated rank, so the engine's
+        # tile partition *is* the slab decomposition.
+        tile = (-(-grid_shape[0] // ranks),) + grid_shape[1:]
+        from ..core.plan import FlashFFTStencil
+
+        self.plan = FlashFFTStencil(
+            grid_shape,
+            kernel,
+            fused_steps=self.fused_steps,
+            boundary=boundary,
+            tile=tile,
+            workers=1,
+        )
+        self._engine: ProcessEngine | None = None
+        self._tail_engines: dict[int, tuple[object, ProcessEngine]] = {}
         self.exchanges_performed = 0
 
     @property
     def ranks(self) -> int:
         return self.deco.ranks
 
+    def _full_engine(self) -> ProcessEngine:
+        if self._engine is None:
+            self._engine = ProcessEngine(
+                self.plan.segments,
+                self.ranks,
+                backend=backend_spec(self.plan._backend),
+                deterministic=True,
+            )
+        return self._engine
+
+    def _tail_engine(self, rem: int) -> tuple[object, ProcessEngine]:
+        cached = self._tail_engines.get(rem)
+        if cached is None:
+            from ..observability import NULL_TELEMETRY
+
+            tail = self.plan._tail_plan(rem, NULL_TELEMETRY)
+            cached = (
+                tail,
+                ProcessEngine(
+                    tail.segments,
+                    self.ranks,
+                    backend=backend_spec(tail._backend),
+                    deterministic=True,
+                ),
+            )
+            self._tail_engines[rem] = cached
+        return cached
+
     # ------------------------------------------------------------- stepping
 
-    def run(self, grid: np.ndarray, total_steps: int) -> np.ndarray:
-        """Advance the global grid; exact vs the single-device engines."""
+    def run(
+        self,
+        grid: np.ndarray,
+        total_steps: int,
+        telemetry: Telemetry | None = None,
+    ) -> np.ndarray:
+        """Advance the global grid; bit-identical to the process engine.
+
+        Every chunk of ``fused_steps`` steps is one fused application —
+        one ring exchange — and the residual chunk reuses the cached
+        narrower-halo tail plan, exactly like ``FlashFFTStencil.run``.
+        """
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
-        slabs = self.deco.scatter(np.asarray(grid, dtype=np.float64))
-        remaining = total_steps
-        while remaining > 0:
-            t = min(self.fused_steps, remaining)
-            if t != self.fused_steps:
-                # Residual chunk needs a narrower halo.
-                deco = SlabDecomposition(
-                    self.deco.grid_shape,
-                    self.ranks,
-                    halo=t * self.kernel.radius[0],
-                    boundary=self.boundary,
-                )
-            else:
-                deco = self.deco
-            extended = exchange_halos(slabs, deco)
+        cur = np.ascontiguousarray(grid, dtype=np.float64)
+        if cur.shape != self.deco.grid_shape:
+            raise PlanError(
+                f"grid shape {cur.shape} != {self.deco.grid_shape}"
+            )
+        full, rem = divmod(total_steps, self.fused_steps)
+        if full == 0 and rem == 0:
+            return cur.copy()
+        if full:
+            cur = self._full_engine().run(cur, full, telemetry=telemetry)
+            self.exchanges_performed += full
+        if rem:
+            _, tail_engine = self._tail_engine(rem)
+            cur = tail_engine.run(cur, 1, telemetry=telemetry)
             self.exchanges_performed += 1
-            slabs = [
-                self._fused_local(deco, ext, t, rank)
-                for rank, ext in enumerate(extended)
-            ]
-            remaining -= t
-        return self.deco.gather(slabs)
-
-    def _fused_local(
-        self, deco: SlabDecomposition, extended: np.ndarray, steps: int, rank: int
-    ) -> np.ndarray:
-        """Fused update of one halo-extended slab; returns the trimmed interior.
-
-        Periodic: one fused FFT pass — the halo absorbs every wrapped read
-        of the fused cone (the Kernel Tailoring argument one level up).
-        Zero: direct stepping with the *global-boundary* halo re-zeroed
-        after every step, because cells beyond the global grid read as 0 at
-        every time level, not just the first.
-        """
-        h = deco.halo
-        if self.boundary == "periodic":
-            out = fft_stencil_periodic(extended, self.kernel, steps, fused=True)
-            return out[h : out.shape[0] - h] if h else out
-        out = extended.copy()
-        first = rank == 0
-        last = rank == deco.ranks - 1
-        for _ in range(steps):
-            out = run_stencil(out, self.kernel, 1, boundary="zero")
-            if h:
-                if first:
-                    out[:h] = 0.0
-                if last:
-                    out[-h:] = 0.0
-        return out[h : out.shape[0] - h] if h else out
+        return cur

@@ -1,0 +1,68 @@
+"""Strict parsing for the ``REPRO_*`` environment switches.
+
+The engine exposes a handful of fleet-wide environment overrides
+(``REPRO_WORKERS``, ``REPRO_PROCS``, ``REPRO_FFT_BACKEND``,
+``REPRO_START_METHOD``, ``REPRO_RESIDENT``).  A typo in one of them used
+to either crash with a bare ``ValueError`` (``int("two")``) or — worse —
+silently fall back to a default, hiding a misconfigured deployment behind
+serial execution.  Every consumer now funnels through these helpers, so a
+bad value fails fast with a :class:`~repro.errors.PlanError` that names
+the offending variable and the value it carried.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from .errors import PlanError
+
+__all__ = ["env_int", "env_positive_int", "env_choice", "env_flag"]
+
+
+def env_int(name: str) -> int | None:
+    """``$name`` as an int; ``None`` when unset or empty.
+
+    Unparsable values raise :class:`PlanError` naming the variable —
+    never a silent fallback.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        return int(raw.strip())
+    except ValueError:
+        raise PlanError(
+            f"${name} must be an integer, got {raw!r}"
+        ) from None
+
+
+def env_positive_int(name: str) -> int | None:
+    """``$name`` as an int ``>= 1``; ``None`` when unset or empty."""
+    value = env_int(name)
+    if value is not None and value < 1:
+        raise PlanError(f"${name} must be >= 1, got {value}")
+    return value
+
+
+def env_choice(name: str, choices: Sequence[str]) -> str | None:
+    """``$name`` constrained to ``choices``; ``None`` when unset/empty."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    value = raw.strip().lower()
+    if value not in choices:
+        raise PlanError(
+            f"${name} must be one of {', '.join(choices)}; got {raw!r}"
+        )
+    return value
+
+
+def env_flag(name: str) -> bool:
+    """``$name`` as a truthy switch (``1``/``true``/``yes``/``on``)."""
+    return os.environ.get(name, "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )

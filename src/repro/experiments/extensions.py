@@ -8,6 +8,9 @@
 * ``resident`` — segment-resident iteration: per-geometry traffic saved
   by replacing the per-application stitch + re-split round trip with a
   halo exchange, with bit-identity asserted on every row.
+* ``distributed`` — the process-parallel scale-out engine: measured
+  cross-rank exchange time per application vs the ``HOST_SHM`` cost-model
+  prediction, with bit-identity asserted on every row.
 """
 
 from __future__ import annotations
@@ -18,12 +21,19 @@ from ..analysis.accuracy import fusion_error_sweep
 from ..core.kernels import heat_1d, heat_2d, heat_3d
 from ..core.plan import FlashFFTStencil
 from ..core.reference import run_stencil
-from ..distributed import DistributedStencil, NVLINK4, scaling_curve
+from ..distributed import (
+    HOST_SHM,
+    DistributedStencil,
+    NVLINK4,
+    ProcessEngine,
+    predict_exchange_seconds,
+    scaling_curve,
+)
 from ..observability import Telemetry
 from ..workloads.generators import random_field
 from ._fmt import header, table
 
-__all__ = ["scaling", "accuracy", "resident"]
+__all__ = ["scaling", "accuracy", "distributed", "resident"]
 
 
 def scaling() -> str:
@@ -86,6 +96,71 @@ def accuracy() -> str:
         header("Extension: temporal-fusion accuracy (fused vs sequential)")
         + "\n"
         + table(rows, ["kernel", "fused", "total steps", "max rel err", "spectral radius"])
+        + note
+    )
+
+
+def distributed() -> str:
+    """Scale-out exchange study: measured vs cost-model halo traffic time.
+
+    Runs the real :class:`~repro.distributed.ProcessEngine` (2 worker
+    processes over shared memory) on validation-scale heat geometries,
+    asserts bit-identity against the serial engine, and compares the
+    measured per-transition exchange time (the workers' ``exchange`` span,
+    summed across ranks) with the :data:`~repro.distributed.HOST_SHM`
+    cost-model prediction for the bytes that actually cross rank
+    boundaries.  The wall-clock gate (process vs thread sharding at 4
+    ranks) lives in ``benchmarks/bench_distributed.py``.
+    """
+    cases = (
+        ("Heat-1D", (1 << 18,), heat_1d, (1 << 13,), 8),
+        ("Heat-2D", (256, 256), heat_2d, (32, 32), 4),
+    )
+    ranks, apps = 2, 6
+    rows = []
+    for name, shape, kf, tile, fused in cases:
+        plan = FlashFFTStencil(shape, kf(), fused_steps=fused, tile=tile, workers=1)
+        grid = random_field(shape, seed=23)
+        want = plan.run(grid, apps * fused)
+        engine = ProcessEngine(plan.segments, ranks)
+        try:
+            tel = Telemetry()
+            got = engine.run(grid, apps, telemetry=tel)
+            assert np.array_equal(got, want), f"{name}: process result diverged"
+            spans = tel.stage_seconds()
+            exchange_s = sum(s for p, s in spans.items() if p.endswith("exchange"))
+            n_bytes = engine.cross_halo_bytes()
+        finally:
+            engine.close()
+        measured_ms = 1e3 * exchange_s / (apps - 1)
+        predicted_ms = 1e3 * predict_exchange_seconds(n_bytes, HOST_SHM)
+        rows.append(
+            [
+                name,
+                "x".join(str(s) for s in shape),
+                str(ranks),
+                f"{n_bytes / 1024:.1f} KiB",
+                f"{measured_ms:.4f} ms",
+                f"{predicted_ms:.4f} ms",
+                "bit-identical",
+            ]
+        )
+    note = (
+        "\nmeasured = workers' exchange span per transition, summed across"
+        f"\nranks; predicted = cross-rank bytes over {HOST_SHM.name} "
+        f"({HOST_SHM.bandwidth_gbs:.0f} GB/s + {1e6 * HOST_SHM.latency_s:.0f} us)."
+        "\nmeasured includes scheduler preemption while ranks share cores,"
+        "\nso it upper-bounds the copy the model prices;"
+        "\nwall-clock gate: benchmarks/bench_distributed.py"
+    )
+    return (
+        header(f"Extension: process-parallel scale-out ({apps} applications)")
+        + "\n"
+        + table(
+            rows,
+            ["workload", "grid", "ranks", "cross-rank/app", "measured",
+             "predicted", "equality"],
+        )
         + note
     )
 

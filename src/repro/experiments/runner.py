@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Callable
 
-from .extensions import accuracy, resident, scaling
+from .extensions import accuracy, distributed, resident, scaling
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
 from .robustness import robustness
@@ -40,6 +40,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "scaling": scaling,
     "accuracy": accuracy,
     "resident": resident,
+    "distributed": distributed,
     "robustness": robustness,
     "telemetry": telemetry,
     "validate": validate,

@@ -170,10 +170,15 @@ def get_backend(spec: "str | FFTBackend | None" = None) -> FFTBackend:
     """
     if isinstance(spec, FFTBackend):
         return spec
+    from_env = False
     if spec is None:
-        spec = os.environ.get(BACKEND_ENV) or "numpy"
-        if spec == "numpy":
+        spec = os.environ.get(BACKEND_ENV, "").strip() or "numpy"
+        from_env = spec != "numpy"
+        if not from_env:
             return NUMPY_BACKEND
+    # An env-sourced spec names the variable in every error so a typo in a
+    # deployment manifest fails fast instead of reading like a code bug.
+    where = f"${BACKEND_ENV}" if from_env else "FFT backend spec"
     name, _, arg = str(spec).partition(":")
     workers: int | None = None
     if arg:
@@ -181,13 +186,13 @@ def get_backend(spec: "str | FFTBackend | None" = None) -> FFTBackend:
             workers = int(arg)
         except ValueError:
             raise PlanError(
-                f"bad FFT backend spec {spec!r}: worker suffix must be an int"
+                f"bad {where} {spec!r}: worker suffix must be an int"
             ) from None
     with _registry_lock:
         factory = _REGISTRY.get(name)
     if factory is None:
         raise PlanError(
-            f"unknown FFT backend {name!r}; registered: "
+            f"{where}: unknown FFT backend {name!r}; registered: "
             f"{', '.join(available_backends())}"
         )
     return factory(workers)

@@ -284,6 +284,7 @@ def run_many(
     workers: int | None = None,
     telemetry: Telemetry | None = None,
     resident: bool | None = None,
+    processes: int | None = None,
 ) -> np.ndarray:
     """Advance B independent grids by ``total_steps`` in batched passes.
 
@@ -295,7 +296,11 @@ def run_many(
     stacked segment count; small batches run serial).  ``resident`` keeps
     each chunk's stacked window batch resident across full applications —
     halo exchange instead of stitch + re-split, still bit-identical —
-    and ``None`` consults ``$REPRO_RESIDENT``.
+    and ``None`` consults ``$REPRO_RESIDENT``.  ``processes`` shards the
+    grid axis across worker *processes* through shared memory instead
+    (``None`` consults ``$REPRO_PROCS``, ``0`` autotunes; GIL-free, so it
+    scales where thread sharding saturates).  ``double_layer`` pairs
+    grids across the whole batch, so it keeps the thread-sharded path.
     """
     if total_steps < 0:
         raise PlanError(f"total_steps must be >= 0, got {total_steps}")
@@ -306,6 +311,16 @@ def run_many(
     gs = _as_grid_list(plan, grids)
     batch = len(gs)
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    from ..distributed.engine import choose_processes
+
+    points = int(np.prod(plan.grid_shape))
+    procs = choose_processes(batch * points, batch, processes)
+    if procs > 1 and not double_layer:
+        from ..distributed.engine import run_many_processes
+
+        return run_many_processes(
+            plan, gs, total_steps, procs, telemetry=telemetry
+        )
     w = choose_workers(batch * plan.segments.total_segments, workers)
     w = min(w, batch)
     if w <= 1:

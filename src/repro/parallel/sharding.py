@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..envutil import env_positive_int
 from ..errors import PlanError
 from ..observability import NULL_TELEMETRY, Telemetry
 from .backends import FFTBackend, get_backend
@@ -76,9 +77,7 @@ def choose_workers(
     thread dispatch run serial (returns 1).
     """
     if requested is None:
-        env = os.environ.get(WORKERS_ENV)
-        if env:
-            requested = int(env)
+        requested = env_positive_int(WORKERS_ENV)
     if requested is not None:
         if requested < 1:
             raise PlanError(f"workers must be >= 1, got {requested}")

@@ -40,9 +40,18 @@ class TestDecomposition:
         with pytest.raises(PlanError):
             SlabDecomposition((3,), 4, halo=0)
         with pytest.raises(PlanError):
-            SlabDecomposition((64,), 4, halo=20)  # halo > smallest slab
+            # A zero boundary cannot read past the whole grid.
+            SlabDecomposition((64,), 4, halo=65, boundary="zero")
         with pytest.raises(PlanError):
             SlabDecomposition((64,), 2, halo=1, boundary="mirror")
+
+    def test_deep_halo_is_multi_round(self):
+        # halo > smallest slab used to be rejected; it now widens to a
+        # multi-round ring exchange.
+        d = SlabDecomposition((64,), 4, halo=20)
+        assert d.exchange_rounds == 2
+        assert SlabDecomposition((64,), 4, halo=16).exchange_rounds == 1
+        assert SlabDecomposition((64,), 4, halo=0).exchange_rounds == 0
 
     def test_scatter_gather_roundtrip(self, rng):
         d = SlabDecomposition((50, 8), 3, halo=2)
@@ -94,6 +103,37 @@ class TestExchange:
         d = SlabDecomposition((12,), 3, halo=1)
         with pytest.raises(PlanError):
             exchange_halos([rng.standard_normal(4)], d)
+
+    def test_multi_round_periodic(self):
+        # halo 5 > slab extent 3: each face spans two neighbour slabs.
+        d = SlabDecomposition((12,), 4, halo=5, boundary="periodic")
+        x = np.arange(12.0)
+        ext = exchange_halos(d.scatter(x), d)
+        np.testing.assert_array_equal(
+            ext[0], [(i % 12) for i in range(-5, 8)]
+        )
+        np.testing.assert_array_equal(
+            ext[3], [(i % 12) for i in range(4, 17)]
+        )
+
+    def test_multi_round_zero(self):
+        d = SlabDecomposition((12,), 4, halo=5, boundary="zero")
+        ext = exchange_halos(d.scatter(np.arange(12.0)), d)
+        np.testing.assert_array_equal(ext[0][:5], 0.0)
+        np.testing.assert_array_equal(ext[0][5:], np.arange(8.0))
+        np.testing.assert_array_equal(ext[3][-5:], 0.0)
+        # rank 1 owns rows [3, 6); its extension covers global rows
+        # [-2, 11) — the two below-grid rows read as zero.
+        np.testing.assert_array_equal(
+            ext[1], np.concatenate([[0.0, 0.0], np.arange(11.0)])
+        )
+
+    def test_exchange_shape_check(self, rng):
+        d = SlabDecomposition((12,), 3, halo=1)
+        bad = d.scatter(rng.standard_normal(12))
+        bad[1] = bad[1][:-1]
+        with pytest.raises(PlanError):
+            exchange_halos(bad, d)
 
 
 class TestDistributedStencil:

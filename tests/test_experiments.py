@@ -101,6 +101,14 @@ class TestMeasuredArtifacts:
         assert "bit-identical" in out and "trips saved" in out
         assert "Heat-1D" in out and "Heat-3D" in out
 
+    def test_distributed_extension(self):
+        from repro.experiments import distributed
+
+        assert "distributed" in EXPERIMENTS
+        out = distributed()
+        assert "bit-identical" in out and "cross-rank/app" in out
+        assert "Heat-1D" in out and "Heat-2D" in out
+
     def test_future_projection_monotone(self):
         out = future_gpus()
         assert "B100" in out
