@@ -38,6 +38,10 @@ Subpackages
 ``repro.parallel``
     Throughput engine: multi-core sharded execution, pluggable FFT
     backends, batched multi-grid serving, workspace arenas.
+``repro.serving``
+    Serving front-end: asyncio micro-batcher with latency deadlines,
+    deficit-round-robin tenant fairness, admission control, and a
+    persistent plan/spectrum cache for fresh-process warm starts.
 """
 
 from .core import (
@@ -74,6 +78,7 @@ from .errors import (
     PFAError,
     PlanError,
     ReproError,
+    ServingError,
     SimulationError,
 )
 from .gpusim import A100, H100, GPUSpec, gpu_by_name
@@ -90,6 +95,7 @@ from .parallel import (
     get_backend,
     register_backend,
     run_many,
+    serve_batch,
 )
 from .robustness import (
     DiskCheckpointStore,
@@ -103,11 +109,20 @@ from .robustness import (
     RobustnessConfig,
     SentinelConfig,
 )
+from .serving import (
+    AdmissionController,
+    DeficitRoundRobin,
+    PlanDiskCache,
+    ServingConfig,
+    StencilServer,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "A100",
+    "AdmissionController",
+    "DeficitRoundRobin",
     "DistributedStencil",
     "TwoStepStencil",
     "WaveFFTPlan",
@@ -135,6 +150,7 @@ __all__ = [
     "NumericalWarning",
     "PFAError",
     "PFAPlan",
+    "PlanDiskCache",
     "PlanError",
     "ReproError",
     "RetryPolicy",
@@ -142,8 +158,11 @@ __all__ = [
     "ScipyFFTBackend",
     "SegmentPlan",
     "SentinelConfig",
+    "ServingConfig",
+    "ServingError",
     "ShardedExecutor",
     "SimulationError",
+    "StencilServer",
     "StencilKernel",
     "StreamlineConfig",
     "TCUStencilExecutor",
@@ -166,6 +185,7 @@ __all__ = [
     "register_backend",
     "run_many",
     "run_stencil",
+    "serve_batch",
     "star_1d5p",
     "star_1d7p",
     "tailored_fft_stencil",

@@ -37,6 +37,7 @@ __all__ = [
     "compute_spectrum",
     "spectrum_cache_info",
     "spectrum_cache_clear",
+    "spectrum_cache_seed",
     "heat_1d",
     "star_1d5p",
     "star_1d7p",
@@ -294,7 +295,7 @@ def compute_spectrum(kernel: "StencilKernel", shape: tuple[int, ...]) -> np.ndar
 
 _SPECTRUM_CACHE_MAX = 256
 _spectrum_cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-_spectrum_cache_stats = {"hits": 0, "misses": 0}
+_spectrum_cache_stats = {"hits": 0, "misses": 0, "seeds": 0}
 _spectrum_cache_lock = threading.Lock()
 
 
@@ -340,12 +341,53 @@ def _cached_temporal_spectrum(
     return spec
 
 
+def spectrum_cache_seed(
+    kernel: StencilKernel,
+    shape: int | Sequence[int],
+    steps: int,
+    spectrum: np.ndarray,
+) -> bool:
+    """Warm-start import hook: insert a precomputed temporal spectrum.
+
+    The persistent plan cache (:mod:`repro.serving.plancache`) stores the
+    fused spectrum ``H_L ** steps`` on disk so a fresh worker process can
+    skip the FFT derivation entirely.  The entry is validated (geometry,
+    finiteness) before landing in the LRU under the usual ``(kernel,
+    shape, steps)`` key.  Returns ``False`` — leaving the cache untouched —
+    when the key is already resident; seed counts are reported by
+    :func:`spectrum_cache_info` (they are neither hits nor misses).
+    """
+    shape = kernel._canonical_shape(shape)
+    steps = int(steps)
+    if steps < 1:
+        raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
+    spec = np.array(spectrum, dtype=np.complex128)
+    if spec.shape != shape:
+        raise KernelError(
+            f"seeded spectrum has shape {spec.shape}, expected {shape}"
+        )
+    if not np.all(np.isfinite(spec)):
+        raise KernelError("seeded spectrum contains non-finite values")
+    spec.flags.writeable = False
+    key = (kernel, shape, steps)
+    with _spectrum_cache_lock:
+        if key in _spectrum_cache:
+            _spectrum_cache.move_to_end(key)
+            return False
+        _spectrum_cache[key] = spec
+        _spectrum_cache_stats["seeds"] += 1
+        while len(_spectrum_cache) > _SPECTRUM_CACHE_MAX:
+            _spectrum_cache.popitem(last=False)
+    return True
+
+
 def spectrum_cache_info() -> dict[str, int]:
-    """Hit/miss/size counters for the kernel-spectrum LRU."""
+    """Hit/miss/seed/size counters for the kernel-spectrum LRU."""
     with _spectrum_cache_lock:
         return {
             "hits": _spectrum_cache_stats["hits"],
             "misses": _spectrum_cache_stats["misses"],
+            "seeds": _spectrum_cache_stats["seeds"],
             "size": len(_spectrum_cache),
             "maxsize": _SPECTRUM_CACHE_MAX,
         }
@@ -357,6 +399,7 @@ def spectrum_cache_clear() -> None:
         _spectrum_cache.clear()
         _spectrum_cache_stats["hits"] = 0
         _spectrum_cache_stats["misses"] = 0
+        _spectrum_cache_stats["seeds"] = 0
 
 
 def _full_convolve(a: np.ndarray, b: np.ndarray) -> np.ndarray:

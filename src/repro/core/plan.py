@@ -27,7 +27,6 @@ the bridge from laptop-scale numerics to the paper's 512M-point benchmarks.
 
 from __future__ import annotations
 
-import os
 import threading
 import time
 from collections import OrderedDict
@@ -37,6 +36,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from ..envutil import env_flag
 from ..errors import FaultInjected, NumericalError, PlanError
 from ..gpusim.occupancy import OccupancyReport, occupancy
 from ..gpusim.pipeline import overlap_throughput_factor
@@ -62,6 +62,7 @@ __all__ = [
     "FlashFFTMeasurement",
     "plan_cache_info",
     "plan_cache_clear",
+    "plan_key",
     "resident_default",
 ]
 
@@ -73,13 +74,13 @@ _RESIDENT_ENV = "REPRO_RESIDENT"
 
 
 def resident_default() -> bool:
-    """Whether ``$REPRO_RESIDENT`` opts ``run()`` into resident iteration."""
-    return os.environ.get(_RESIDENT_ENV, "").strip().lower() in (
-        "1",
-        "true",
-        "yes",
-        "on",
-    )
+    """Whether ``$REPRO_RESIDENT`` opts ``run()`` into resident iteration.
+
+    Routed through :func:`repro.envutil.env_flag`, so an unrecognised
+    value (``REPRO_RESIDENT=ture``) raises :class:`PlanError` naming the
+    variable instead of silently disabling the switch.
+    """
+    return env_flag(_RESIDENT_ENV)
 
 
 # --------------------------------------------------------------------------
@@ -103,6 +104,38 @@ _plan_cache_stats = {"hits": 0, "misses": 0}
 _plan_cache_lock = threading.Lock()
 
 
+def plan_key(
+    grid_shape: tuple[int, ...],
+    kernel: StencilKernel,
+    fused_steps: int,
+    boundary: Boundary,
+    gpu: GPUSpec,
+    config: StreamlineConfig,
+    tile: tuple[int, ...] | None,
+    backend_name: str,
+    workers: int | None,
+) -> tuple:
+    """The canonical plan-cache tuple: everything that shapes a plan.
+
+    Shared by the in-process LRU below and by the persistent on-disk cache
+    (:mod:`repro.serving.plancache`), which digests this tuple's repr —
+    one key definition, two cache tiers.  The FFT backend participates by
+    *name* only: every registered backend is numerically interchangeable,
+    so two worker configurations of one provider may safely share a plan.
+    """
+    return (
+        grid_shape,
+        kernel,
+        fused_steps,
+        boundary,
+        gpu,
+        config,
+        tile,
+        backend_name,
+        workers,
+    )
+
+
 def _cached_plan(
     grid_shape: tuple[int, ...],
     kernel: StencilKernel,
@@ -115,11 +148,8 @@ def _cached_plan(
     backend: "FFTBackend | None" = None,
     workers: int | None = None,
 ) -> "FlashFFTStencil":
-    # The backend participates in the key by *name* only: every registered
-    # backend is numerically interchangeable, so two worker configurations
-    # of one provider may safely share a cached plan.
     backend = get_backend(backend)
-    key = (
+    key = plan_key(
         grid_shape,
         kernel,
         fused_steps,
@@ -361,6 +391,25 @@ class FlashFFTStencil:
     def backend(self) -> FFTBackend:
         """The FFT provider every transform of this plan routes through."""
         return self._backend
+
+    def planning_artifacts(self) -> dict:
+        """Export hook for the persistent plan cache: the re-planning work.
+
+        Returns the products a fresh process would otherwise re-derive
+        when constructing this plan — the auto-tuned valid tile (Eq. (5)
+        search plus, in 1-D, the PFA-factorisable shrink loop) and the
+        window-local fused spectrum ``H_L ** steps`` (an FFT plus a
+        complex power).  :meth:`repro.serving.plancache.PlanDiskCache.put`
+        persists them; importing goes through
+        :func:`repro.core.kernels.spectrum_cache_seed` plus an explicit
+        ``tile=`` override at construction.
+        """
+        return {
+            "tile": tuple(self.segments.valid_shape),
+            "local_shape": tuple(self.local_shape),
+            "steps": int(self.fused_steps),
+            "fused_spectrum": np.asarray(self.segments.fused_spectrum()),
+        }
 
     @cached_property
     def effective_workers(self) -> int:

@@ -58,11 +58,28 @@ def env_choice(name: str, choices: Sequence[str]) -> str | None:
     return value
 
 
+#: Recognised boolean spellings (case-insensitive, surrounding space ignored).
+_FLAG_TRUE = ("1", "true", "yes", "on")
+_FLAG_FALSE = ("0", "false", "no", "off")
+
+
 def env_flag(name: str) -> bool:
-    """``$name`` as a truthy switch (``1``/``true``/``yes``/``on``)."""
-    return os.environ.get(name, "").strip().lower() in (
-        "1",
-        "true",
-        "yes",
-        "on",
+    """``$name`` as a boolean switch; ``False`` when unset or empty.
+
+    Accepts ``1``/``true``/``yes``/``on`` and ``0``/``false``/``no``/
+    ``off``.  Anything else raises :class:`PlanError` naming the variable —
+    a typo like ``REPRO_RESIDENT=ture`` used to silently disable the
+    switch, hiding a misconfigured deployment.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return False
+    value = raw.strip().lower()
+    if value in _FLAG_TRUE:
+        return True
+    if value in _FLAG_FALSE:
+        return False
+    raise PlanError(
+        f"${name} must be a boolean flag "
+        f"({'/'.join(_FLAG_TRUE)} or {'/'.join(_FLAG_FALSE)}); got {raw!r}"
     )

@@ -18,6 +18,7 @@ __all__ = [
     "NumericalError",
     "CheckpointError",
     "FaultInjected",
+    "ServingError",
 ]
 
 
@@ -52,6 +53,17 @@ class NumericalError(ReproError, ArithmeticError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint could not be saved, found, or restored."""
+
+
+class ServingError(ReproError, RuntimeError):
+    """The serving front-end rejected or failed a request.
+
+    Raised by admission control (bounded-queue backpressure, per-tenant
+    quota breaches) and by the micro-batcher when a request cannot be
+    served (server not running, shutdown without drain).  Typed so callers
+    can distinguish load shedding from numerical/plan errors and retry
+    against another replica.
+    """
 
 
 class FaultInjected(ReproError, RuntimeError):

@@ -19,7 +19,11 @@ the host-side engine the same visibility: a :class:`Telemetry` sink records
 * **events** — a bounded log of discrete occurrences (guard violations,
   injected faults, checkpoint restores, reference fallbacks) recorded by
   the robustness layer; the oldest entries are dropped past
-  ``EVENT_LIMIT`` and the drop count is kept so nothing vanishes silently.
+  ``EVENT_LIMIT`` and the drop count is kept so nothing vanishes silently;
+* **observations** — value distributions (serving request latencies,
+  chosen micro-batch sizes) with exact count/sum/min/max and a rolling
+  sample window for percentiles (:meth:`Telemetry.observe` /
+  :meth:`Telemetry.percentile`).
 
 Everything is JSON-serializable via :meth:`Telemetry.snapshot` /
 :func:`telemetry_to_json`.  The default sink is :data:`NULL_TELEMETRY`, a
@@ -96,6 +100,10 @@ class Telemetry:
     #: Maximum retained events; older entries are dropped (and counted).
     EVENT_LIMIT = 256
 
+    #: Maximum retained samples per observed distribution; once full, the
+    #: oldest samples roll off (count/sum/min/max stay exact).
+    OBSERVE_LIMIT = 1024
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -104,6 +112,7 @@ class Telemetry:
         self._caches: dict[str, dict[str, int]] = {}
         self._events: list[dict[str, Any]] = []
         self._events_dropped = 0
+        self._observations: dict[str, dict[str, Any]] = {}
 
     # ------------------------------------------------------------- spans
 
@@ -166,6 +175,72 @@ class Telemetry:
             return evs
         return [e for e in evs if e["event"] == name]
 
+    # ------------------------------------------------------- distributions
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the value distribution ``name``.
+
+        The serving tier feeds request latencies and chosen batch sizes
+        through here; count/sum/min/max are exact over the whole stream
+        while percentiles are computed over the latest ``OBSERVE_LIMIT``
+        samples (a rolling window — recent behaviour is what an adaptive
+        controller and an operator dashboard both want).
+        """
+        v = float(value)
+        with self._lock:
+            rec = self._observations.get(name)
+            if rec is None:
+                rec = self._observations[name] = {
+                    "count": 0,
+                    "sum": 0.0,
+                    "min": v,
+                    "max": v,
+                    "samples": [],
+                    "dropped": 0,
+                }
+            rec["count"] += 1
+            rec["sum"] += v
+            rec["min"] = min(rec["min"], v)
+            rec["max"] = max(rec["max"], v)
+            rec["samples"].append(v)
+            overflow = len(rec["samples"]) - self.OBSERVE_LIMIT
+            if overflow > 0:
+                del rec["samples"][:overflow]
+                rec["dropped"] += overflow
+
+    def percentile(self, name: str, q: float) -> float | None:
+        """The ``q``-th percentile (0-100) of the retained samples of
+        ``name``, or ``None`` when nothing was observed."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            rec = self._observations.get(name)
+            samples = sorted(rec["samples"]) if rec else []
+        if not samples:
+            return None
+        # Nearest-rank on the sorted window: robust, no interpolation.
+        rank = min(len(samples) - 1, max(0, int(round(q / 100.0 * (len(samples) - 1)))))
+        return samples[rank]
+
+    def observation(self, name: str) -> dict[str, Any] | None:
+        """Summary (count/sum/mean/min/max/p50/p99) for ``name``."""
+        with self._lock:
+            rec = self._observations.get(name)
+            if rec is None:
+                return None
+            count = rec["count"]
+            summary = {
+                "count": count,
+                "sum": rec["sum"],
+                "mean": rec["sum"] / count if count else 0.0,
+                "min": rec["min"],
+                "max": rec["max"],
+                "dropped": rec["dropped"],
+            }
+        summary["p50"] = self.percentile(name, 50.0)
+        summary["p99"] = self.percentile(name, 99.0)
+        return summary
+
     # -------------------------------------------------------------- merge
 
     def merge(self, other: "Telemetry | Mapping[str, Any]") -> None:
@@ -198,6 +273,27 @@ class Telemetry:
                     del self._events[:overflow]
                     self._events_dropped += overflow
             self._events_dropped += int(snap.get("events_dropped", 0))
+            for name, rec in snap.get("observations", {}).items():
+                mine = self._observations.get(name)
+                if mine is None:
+                    mine = self._observations[name] = {
+                        "count": 0,
+                        "sum": 0.0,
+                        "min": float(rec["min"]),
+                        "max": float(rec["max"]),
+                        "samples": [],
+                        "dropped": 0,
+                    }
+                mine["count"] += int(rec["count"])
+                mine["sum"] += float(rec["sum"])
+                mine["min"] = min(mine["min"], float(rec["min"]))
+                mine["max"] = max(mine["max"], float(rec["max"]))
+                mine["samples"].extend(float(v) for v in rec.get("samples", []))
+                mine["dropped"] += int(rec.get("dropped", 0))
+                overflow = len(mine["samples"]) - self.OBSERVE_LIMIT
+                if overflow > 0:
+                    del mine["samples"][:overflow]
+                    mine["dropped"] += overflow
 
     # ----------------------------------------------------------- export
 
@@ -213,6 +309,17 @@ class Telemetry:
                 "caches": {k: dict(v) for k, v in sorted(self._caches.items())},
                 "events": [dict(e) for e in self._events],
                 "events_dropped": self._events_dropped,
+                "observations": {
+                    name: {
+                        "count": rec["count"],
+                        "sum": rec["sum"],
+                        "min": rec["min"],
+                        "max": rec["max"],
+                        "samples": list(rec["samples"]),
+                        "dropped": rec["dropped"],
+                    }
+                    for name, rec in sorted(self._observations.items())
+                },
             }
 
     def stage_seconds(self) -> dict[str, float]:
@@ -234,6 +341,7 @@ class Telemetry:
             self._caches.clear()
             self._events.clear()
             self._events_dropped = 0
+            self._observations.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         with self._lock:
@@ -274,6 +382,15 @@ class NullTelemetry(Telemetry):
     def events(self, name: str | None = None) -> list[dict[str, Any]]:
         return []
 
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def percentile(self, name: str, q: float) -> float | None:
+        return None
+
+    def observation(self, name: str) -> dict[str, Any] | None:
+        return None
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "spans": {},
@@ -281,6 +398,7 @@ class NullTelemetry(Telemetry):
             "caches": {},
             "events": [],
             "events_dropped": 0,
+            "observations": {},
         }
 
     def stage_seconds(self) -> dict[str, float]:

@@ -26,7 +26,7 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .batch import apply_many, run_many
+from .batch import apply_many, run_many, serve_batch
 from .sharding import ShardedExecutor, choose_workers, cpu_count
 
 __all__ = [
@@ -42,4 +42,5 @@ __all__ = [
     "get_backend",
     "register_backend",
     "run_many",
+    "serve_batch",
 ]

@@ -45,7 +45,7 @@ from .sharding import _pool, choose_workers
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.plan import FlashFFTStencil
 
-__all__ = ["apply_many", "run_many"]
+__all__ = ["apply_many", "run_many", "serve_batch"]
 
 
 def _as_grid_list(
@@ -351,3 +351,37 @@ def run_many(
         tel.count("batch_worker_chunks", len(chunks))
         tel.record_cache("batch_sharding", workers=len(chunks), grids=batch)
     return out
+
+
+def serve_batch(
+    plan: "FlashFFTStencil",
+    grids: "np.ndarray | Sequence[np.ndarray]",
+    total_steps: int,
+    *,
+    double_layer: bool = False,
+    workers: int | None = None,
+    telemetry: Telemetry | None = None,
+) -> list[np.ndarray]:
+    """The micro-batcher → ``run_many`` handoff: serve one coalesced batch.
+
+    :class:`repro.serving.StencilServer` coalesces same-``total_steps``
+    requests and hands the grid list here; the return is a *list* of
+    per-request result rows (the freshly allocated output stack is never
+    reused, so the rows are safe to hand to independent futures).
+    Numerically this is exactly ``run_many``; the extra span/counters
+    give the serving layer its own telemetry trail.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("serve_batch"):
+        stack = run_many(
+            plan,
+            grids,
+            total_steps,
+            double_layer=double_layer,
+            workers=workers,
+            telemetry=tel,
+        )
+    if tel.enabled:
+        tel.count("serving_batches", 1)
+        tel.count("serving_batch_grids", stack.shape[0])
+    return list(stack)

@@ -14,13 +14,23 @@ Two implementations:
 * :class:`DiskCheckpointStore` — ``.npy`` files under a directory, for
   state that must outlive the process.
 
-Both keep at most ``keep`` snapshots (oldest evicted) and raise
-:class:`~repro.errors.CheckpointError` when asked to restore from nothing
-or from an unreadable file.
+Both keep at most ``keep`` snapshots (oldest evicted) and preserve the
+grid's dtype through the round trip (a float32 grid restores as float32 —
+the mixed-precision tier must not silently up-cast restored state).
+:class:`~repro.errors.CheckpointError` is raised when asked to restore
+from nothing, or — for the disk store — when *no* retained snapshot loads.
+
+Disk snapshots are written atomically: the array lands in a temporary file
+in the same directory and is ``os.replace``d into its final name, so a
+crash mid-write can never leave a truncated file *under a snapshot name*.
+``latest()`` additionally self-heals: if the newest snapshot is unreadable
+anyway (pre-fix leftovers, torn storage), it falls back to the next-older
+one — which is exactly the crash tolerance ``keep > 1`` is meant to buy.
 """
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import numpy as np
@@ -57,7 +67,9 @@ class MemoryCheckpointStore(CheckpointStore):
         self._snaps: list[tuple[int, np.ndarray]] = []
 
     def save(self, step: int, grid: np.ndarray) -> None:
-        self._snaps.append((int(step), np.array(grid, dtype=np.float64)))
+        # np.array copies but keeps the dtype: a float32 grid must restore
+        # as float32, not silently up-cast to float64.
+        self._snaps.append((int(step), np.array(grid)))
         del self._snaps[: -self.keep]
 
     def latest(self) -> tuple[int, np.ndarray]:
@@ -92,27 +104,53 @@ class DiskCheckpointStore(CheckpointStore):
         return sorted(self.directory.glob(f"{self._PREFIX}*.npy"))
 
     def save(self, step: int, grid: np.ndarray) -> None:
+        """Atomically persist one snapshot (dtype-preserving).
+
+        The array is written to a temporary file in the *same directory*
+        (so the rename below stays within one filesystem) and moved into
+        its final ``ckpt_*.npy`` name with ``os.replace`` — atomic on
+        POSIX and Windows.  A crash mid-``np.save`` therefore leaves only
+        a stray temp file that no ``latest()`` will ever consider, never a
+        truncated newest snapshot shadowing the good older ones.
+        """
         path = self.directory / f"{self._PREFIX}{int(step):08d}.npy"
+        # Leading dot keeps the temp file out of the ckpt_*.npy glob even
+        # mid-write; the pid suffix keeps concurrent writers apart.
+        tmp = self.directory / f".{path.name}.{os.getpid()}.tmp"
         try:
-            np.save(path, np.asarray(grid, dtype=np.float64))
+            with open(tmp, "wb") as fh:
+                np.save(fh, np.asarray(grid))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
         except OSError as e:  # pragma: no cover - environment-dependent
+            tmp.unlink(missing_ok=True)
             raise CheckpointError(f"cannot write checkpoint {path}: {e}") from e
         for old in self._paths()[: -self.keep]:
             old.unlink(missing_ok=True)
 
     def latest(self) -> tuple[int, np.ndarray]:
+        """The newest *readable* snapshot as ``(step, grid)``.
+
+        Unreadable snapshots (truncated by a crash predating the atomic
+        writer, torn by the storage layer) are skipped in favour of the
+        next-older one, so ``keep > 1`` buys real crash tolerance.
+        :class:`CheckpointError` is raised only when no snapshot loads.
+        """
         paths = self._paths()
         if not paths:
             raise CheckpointError(
                 f"no checkpoint available under {self.directory}"
             )
-        path = paths[-1]
-        try:
-            grid = np.load(path)
-        except (OSError, ValueError) as e:
-            raise CheckpointError(f"cannot read checkpoint {path}: {e}") from e
-        step = int(path.stem[len(self._PREFIX):])
-        return step, np.asarray(grid, dtype=np.float64)
+        problems: list[str] = []
+        for path in reversed(paths):
+            try:
+                grid = np.load(path)
+            except (OSError, ValueError, EOFError) as e:
+                problems.append(f"cannot read checkpoint {path}: {e}")
+                continue
+            return int(path.stem[len(self._PREFIX):]), np.asarray(grid)
+        raise CheckpointError("; ".join(problems))
 
     def clear(self) -> None:
         for path in self._paths():

@@ -1,0 +1,82 @@
+"""Admission control: bounded queues and per-tenant caps for the server.
+
+Backpressure has to happen at the front door.  Once a request is queued
+its caller is committed to waiting, so an overloaded server that admits
+everything converts overload into unbounded latency.  The controller
+enforces two limits *before* a request enters the scheduler:
+
+* a global queue bound (``max_queue``) — total requests in flight;
+* a per-tenant bound (``max_pending_per_tenant``) — one tenant cannot
+  occupy the whole queue even below the global bound.
+
+Rejections raise :class:`~repro.errors.ServingError` (typed, so clients
+can distinguish load shedding from numerical failures and retry against
+another replica) and are counted in telemetry under
+``admission_rejected``; accepted requests under ``admission_accepted``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ServingError
+from ..observability import NULL_TELEMETRY
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Gatekeeper deciding whether a request may join the serving queue."""
+
+    def __init__(
+        self,
+        max_queue: int = 256,
+        max_pending_per_tenant: int | None = None,
+        telemetry=None,
+    ) -> None:
+        if max_queue < 1:
+            raise ServingError(f"max_queue must be >= 1, got {max_queue}")
+        if max_pending_per_tenant is not None and max_pending_per_tenant < 1:
+            raise ServingError(
+                f"max_pending_per_tenant must be >= 1, got {max_pending_per_tenant}"
+            )
+        self.max_queue = int(max_queue)
+        self.max_pending_per_tenant = (
+            None if max_pending_per_tenant is None else int(max_pending_per_tenant)
+        )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.accepted = 0
+        self.rejected = 0
+
+    def admit(self, tenant: str, queued_total: int, queued_tenant: int) -> None:
+        """Raise ``ServingError`` if the request must be shed; else record it.
+
+        ``queued_total`` / ``queued_tenant`` are the queue depths *before*
+        the candidate request is added.
+        """
+        if queued_total >= self.max_queue:
+            self._reject(
+                f"queue full ({queued_total}/{self.max_queue} pending); "
+                f"request from tenant {tenant!r} shed"
+            )
+        if (
+            self.max_pending_per_tenant is not None
+            and queued_tenant >= self.max_pending_per_tenant
+        ):
+            self._reject(
+                f"tenant {tenant!r} at its pending cap "
+                f"({queued_tenant}/{self.max_pending_per_tenant})"
+            )
+        self.accepted += 1
+        self.telemetry.count("admission_accepted")
+
+    def _reject(self, reason: str) -> None:
+        self.rejected += 1
+        self.telemetry.count("admission_rejected")
+        raise ServingError(reason)
+
+    def info(self) -> dict:
+        return {
+            "max_queue": self.max_queue,
+            "max_pending_per_tenant": self.max_pending_per_tenant,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+        }

@@ -122,7 +122,73 @@ class TestCounters:
             "caches": {},
             "events": [],
             "events_dropped": 0,
+            "observations": {},
         }
+
+
+class TestObservations:
+    def test_observe_and_summarise(self):
+        tel = Telemetry()
+        for v in [5.0, 1.0, 3.0, 2.0, 4.0]:
+            tel.observe("lat", v)
+        summary = tel.observation("lat")
+        assert summary["count"] == 5
+        assert summary["sum"] == 15.0
+        assert summary["mean"] == 3.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 5.0
+        assert summary["dropped"] == 0
+
+    def test_percentiles_nearest_rank(self):
+        tel = Telemetry()
+        for v in range(1, 101):
+            tel.observe("lat", float(v))
+        assert tel.percentile("lat", 50) in (50.0, 51.0)  # rank rounding
+        assert tel.percentile("lat", 99) == 99.0
+        assert tel.percentile("lat", 0) == 1.0
+        assert tel.percentile("lat", 100) == 100.0
+        assert tel.percentile("absent", 50) is None
+        with pytest.raises(ValueError):
+            tel.percentile("lat", 101)
+
+    def test_sample_cap_keeps_exact_aggregates(self):
+        tel = Telemetry()
+        n = Telemetry.OBSERVE_LIMIT + 50
+        for v in range(n):
+            tel.observe("lat", float(v))
+        summary = tel.observation("lat")
+        assert summary["count"] == n
+        assert summary["sum"] == float(sum(range(n)))
+        assert summary["max"] == float(n - 1)
+        assert summary["dropped"] == 50
+
+    def test_merge_folds_observations(self):
+        a, b = Telemetry(), Telemetry()
+        a.observe("lat", 1.0)
+        b.observe("lat", 3.0)
+        b.observe("other", 7.0)
+        a.merge(b)
+        assert a.observation("lat")["count"] == 2
+        assert a.observation("lat")["sum"] == 4.0
+        assert a.observation("other")["count"] == 1
+
+    def test_reset_clears_observations(self):
+        tel = Telemetry()
+        tel.observe("lat", 1.0)
+        tel.reset()
+        assert tel.observation("lat") is None
+
+    def test_null_telemetry_noop(self):
+        tel = NullTelemetry()
+        tel.observe("lat", 1.0)
+        assert tel.percentile("lat", 50) is None
+        assert tel.observation("lat") is None
+
+    def test_json_round_trip_with_observations(self):
+        tel = Telemetry()
+        tel.observe("lat", 2.5)
+        decoded = json.loads(telemetry_to_json(tel))
+        assert decoded["observations"]["lat"]["count"] == 1
 
 
 class TestNullTelemetry:
@@ -137,6 +203,7 @@ class TestNullTelemetry:
             "caches": {},
             "events": [],
             "events_dropped": 0,
+            "observations": {},
         }
         assert tel.stage_seconds() == {}
 
@@ -177,6 +244,7 @@ class TestJSON:
             "spans": {},
             "events": [],
             "events_dropped": 0,
+            "observations": {},
         }
 
 
@@ -328,6 +396,7 @@ class TestSpectrumCache:
         assert spectrum_cache_info() == {
             "hits": 0,
             "misses": 0,
+            "seeds": 0,
             "size": 0,
             "maxsize": 256,
         }
