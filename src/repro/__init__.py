@@ -80,6 +80,7 @@ from .errors import (
     ReproError,
     ServingError,
     SimulationError,
+    WorkerCrashError,
 )
 from .gpusim import A100, H100, GPUSpec, gpu_by_name
 from .observability import NULL_TELEMETRY, NullTelemetry, Telemetry, telemetry_to_json
@@ -162,6 +163,7 @@ __all__ = [
     "ServingError",
     "ShardedExecutor",
     "SimulationError",
+    "WorkerCrashError",
     "StencilServer",
     "StencilKernel",
     "StreamlineConfig",

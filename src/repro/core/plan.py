@@ -37,7 +37,7 @@ from typing import TYPE_CHECKING, Sequence
 import numpy as np
 
 from ..envutil import env_flag
-from ..errors import FaultInjected, NumericalError, PlanError
+from ..errors import FaultInjected, NumericalError, PlanError, WorkerCrashError
 from ..gpusim.occupancy import OccupancyReport, occupancy
 from ..gpusim.pipeline import overlap_throughput_factor
 from ..gpusim.roofline import KernelCost
@@ -46,6 +46,7 @@ from ..observability import NULL_TELEMETRY, Telemetry
 from ..parallel.arena import WorkspaceArena
 from ..parallel.backends import FFTBackend, get_backend
 from ..parallel.sharding import ShardedExecutor, choose_workers
+from ..robustness.faults import PROCESS_KINDS
 from ..robustness.guards import GuardPolicy, check_array
 from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
 from .kernels import StencilKernel, spectrum_cache_info
@@ -1061,7 +1062,13 @@ class FlashFFTStencil:
             try:
                 if processes > 1 and applications >= 2:
                     out = self._process_engine(processes).run(
-                        cur, applications, out=buf, telemetry=tel
+                        cur,
+                        applications,
+                        out=buf,
+                        telemetry=tel,
+                        injector=rb.injector,
+                        rank_timeout=rb.rank_timeout,
+                        max_rank_restarts=rb.max_rank_restarts,
                     )
                 else:
                     out = self._run_resident_block(
@@ -1155,6 +1162,12 @@ class FlashFFTStencil:
                         edges.add(j + 1)
             if rb.injector is not None:
                 for f in rb.injector.faults:
+                    # Process-level faults fire inside the scale-out
+                    # engine, not at a stitch boundary — cutting the
+                    # chunk to a singleton would bypass the engine (and
+                    # the fault) entirely.
+                    if f.kind in PROCESS_KINDS:
+                        continue
                     if f.apply_index < full:
                         edges.add(f.apply_index)
                         edges.add(f.apply_index + 1)
@@ -1200,7 +1213,7 @@ class FlashFFTStencil:
                         cur, i1 - i0, bufs[which], tel, rb, guards, processes
                     )
                     result = None
-            except (FaultInjected, NumericalError) as e:
+            except (FaultInjected, NumericalError, WorkerCrashError) as e:
                 if (
                     isinstance(e, FaultInjected)
                     and store is not None

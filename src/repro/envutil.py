@@ -17,7 +17,13 @@ from typing import Sequence
 
 from .errors import PlanError
 
-__all__ = ["env_int", "env_positive_int", "env_choice", "env_flag"]
+__all__ = [
+    "env_int",
+    "env_positive_int",
+    "env_positive_float",
+    "env_choice",
+    "env_flag",
+]
 
 
 def env_int(name: str) -> int | None:
@@ -42,6 +48,30 @@ def env_positive_int(name: str) -> int | None:
     value = env_int(name)
     if value is not None and value < 1:
         raise PlanError(f"${name} must be >= 1, got {value}")
+    return value
+
+
+def env_positive_float(name: str) -> float | None:
+    """``$name`` as a float ``> 0``; ``None`` when unset or empty.
+
+    Used for duration knobs such as ``REPRO_RANK_TIMEOUT`` (seconds a
+    worker rank may go without a heartbeat before the supervisor declares
+    it hung).  ``inf``/``nan`` and non-positive values are configuration
+    errors, not timeouts, and raise :class:`PlanError`.
+    """
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    try:
+        value = float(raw.strip())
+    except ValueError:
+        raise PlanError(
+            f"${name} must be a positive number of seconds, got {raw!r}"
+        ) from None
+    if not value > 0 or value != value or value == float("inf"):
+        raise PlanError(
+            f"${name} must be a finite positive number of seconds, got {raw!r}"
+        )
     return value
 
 

@@ -150,6 +150,17 @@ class Telemetry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + int(n)
 
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented).
+
+        The supervision/chaos tests poll individual counters
+        (``rank_recoveries``, ``breaker_trips``) between fault injections;
+        a full :meth:`snapshot` per poll copies every span and event for
+        no reason.
+        """
+        with self._lock:
+            return self._counters.get(name, 0)
+
     def record_cache(self, name: str, **stats: int) -> None:
         """Store the latest stats (hits/misses/size/...) for cache ``name``."""
         with self._lock:
@@ -369,6 +380,9 @@ class NullTelemetry(Telemetry):
 
     def count(self, name: str, n: int = 1) -> None:
         pass
+
+    def counter(self, name: str) -> int:
+        return 0
 
     def record_cache(self, name: str, **stats: int) -> None:
         pass

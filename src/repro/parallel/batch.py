@@ -39,6 +39,7 @@ import numpy as np
 
 from ..errors import PlanError
 from ..observability import NULL_TELEMETRY, Telemetry
+from ..robustness.guards import check_array
 from .arena import WorkspaceArena
 from .sharding import _pool, choose_workers
 
@@ -285,6 +286,7 @@ def run_many(
     telemetry: Telemetry | None = None,
     resident: bool | None = None,
     processes: int | None = None,
+    injector=None,
 ) -> np.ndarray:
     """Advance B independent grids by ``total_steps`` in batched passes.
 
@@ -319,7 +321,8 @@ def run_many(
         from ..distributed.engine import run_many_processes
 
         return run_many_processes(
-            plan, gs, total_steps, procs, telemetry=telemetry
+            plan, gs, total_steps, procs, telemetry=telemetry,
+            injector=injector,
         )
     w = choose_workers(batch * plan.segments.total_segments, workers)
     w = min(w, batch)
@@ -361,6 +364,9 @@ def serve_batch(
     double_layer: bool = False,
     workers: int | None = None,
     telemetry: Telemetry | None = None,
+    processes: int | None = None,
+    guards=None,
+    injector=None,
 ) -> list[np.ndarray]:
     """The micro-batcher → ``run_many`` handoff: serve one coalesced batch.
 
@@ -370,6 +376,16 @@ def serve_batch(
     reused, so the rows are safe to hand to independent futures).
     Numerically this is exactly ``run_many``; the extra span/counters
     give the serving layer its own telemetry trail.
+
+    ``processes`` forwards to ``run_many`` (``None`` consults
+    ``$REPRO_PROCS``) so the batcher's circuit breaker can pick the
+    execution mode per dispatch.  ``guards`` (a
+    :class:`~repro.robustness.GuardPolicy`) validates the stacked output:
+    one request whose numerics blow up poisons the whole stack, and the
+    resulting :class:`~repro.errors.NumericalError` is what lets the
+    batcher's bisection retry isolate the culprit instead of failing all
+    co-batched tenants.  ``injector`` ships process-level chaos faults to
+    the scale-out path.
     """
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     with tel.span("serve_batch"):
@@ -380,7 +396,11 @@ def serve_batch(
             double_layer=double_layer,
             workers=workers,
             telemetry=tel,
+            processes=processes,
+            injector=injector,
         )
+        if guards is not None and guards.enabled and guards.check_outputs:
+            check_array(stack, "serving batch output", guards, tel)
     if tel.enabled:
         tel.count("serving_batches", 1)
         tel.count("serving_batch_grids", stack.shape[0])

@@ -86,11 +86,28 @@ class MemoryCheckpointStore(CheckpointStore):
 
 
 class DiskCheckpointStore(CheckpointStore):
-    """``.npy`` snapshots under ``directory`` (created if missing)."""
+    """``.npy`` snapshots under ``directory`` (created if missing).
+
+    ``max_snapshots`` is the hard cap on retained snapshot files — a
+    long-running recovery loop saving every ``checkpoint_every``
+    applications must not fill the disk.  Pruning is delete-*after*-write:
+    the new snapshot is durably in place before any older one is removed,
+    so a crash between the two leaves at most ``max_snapshots + 1`` files
+    and never zero.  (``keep`` is the historical name for the same knob;
+    ``max_snapshots`` wins when both are given.)
+    """
 
     _PREFIX = "ckpt_"
 
-    def __init__(self, directory: str | Path, keep: int = 2) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        keep: int = 2,
+        *,
+        max_snapshots: int | None = None,
+    ) -> None:
+        if max_snapshots is not None:
+            keep = max_snapshots
         if keep < 1:
             raise CheckpointError(f"keep must be >= 1, got {keep}")
         self.keep = int(keep)
@@ -100,8 +117,35 @@ class DiskCheckpointStore(CheckpointStore):
         except OSError as e:  # pragma: no cover - environment-dependent
             raise CheckpointError(f"cannot create checkpoint dir: {e}") from e
 
+    @property
+    def max_snapshots(self) -> int:
+        return self.keep
+
     def _paths(self) -> list[Path]:
         return sorted(self.directory.glob(f"{self._PREFIX}*.npy"))
+
+    def _sweep_orphan_tmps(self) -> None:
+        """Remove temp files abandoned by writers that are no longer alive.
+
+        A writer that crashed mid-``np.save`` leaves ``.ckpt_*.<pid>.tmp``
+        behind; the atomic-rename protocol already keeps such files out of
+        ``latest()``'s view, but a recovery loop that keeps crashing would
+        still accumulate them.  Only files whose pid suffix is provably
+        dead are touched — a live concurrent writer keeps its temp file.
+        """
+        for tmp in self.directory.glob(f".{self._PREFIX}*.tmp"):
+            try:
+                pid = int(tmp.suffixes[-2].lstrip("."))
+            except (ValueError, IndexError):
+                continue
+            if pid == os.getpid():
+                continue
+            try:
+                os.kill(pid, 0)  # signal 0: existence probe only
+            except ProcessLookupError:
+                tmp.unlink(missing_ok=True)
+            except (PermissionError, OSError):  # pragma: no cover - alive
+                continue
 
     def save(self, step: int, grid: np.ndarray) -> None:
         """Atomically persist one snapshot (dtype-preserving).
@@ -126,8 +170,11 @@ class DiskCheckpointStore(CheckpointStore):
         except OSError as e:  # pragma: no cover - environment-dependent
             tmp.unlink(missing_ok=True)
             raise CheckpointError(f"cannot write checkpoint {path}: {e}") from e
+        # Delete-after-write: the new snapshot is already durable, so the
+        # cap can never transiently drop the directory to zero snapshots.
         for old in self._paths()[: -self.keep]:
             old.unlink(missing_ok=True)
+        self._sweep_orphan_tmps()
 
     def latest(self) -> tuple[int, np.ndarray]:
         """The newest *readable* snapshot as ``(step, grid)``.
@@ -155,6 +202,7 @@ class DiskCheckpointStore(CheckpointStore):
     def clear(self) -> None:
         for path in self._paths():
             path.unlink(missing_ok=True)
+        self._sweep_orphan_tmps()
 
     def __len__(self) -> int:
         return len(self._paths())

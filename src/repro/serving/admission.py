@@ -13,9 +13,19 @@ Rejections raise :class:`~repro.errors.ServingError` (typed, so clients
 can distinguish load shedding from numerical failures and retry against
 another replica) and are counted in telemetry under
 ``admission_rejected``; accepted requests under ``admission_accepted``.
+
+:meth:`AdmissionController.validate` is the *content* gate, run before
+the load gate: a request whose grid has the wrong shape, a non-numeric
+dtype, or non-finite values — or whose step count exceeds the configured
+ceiling — is malformed, not overload, and would otherwise fail (or
+poison) the whole co-scheduled batch mid-execution.  Invalid requests
+raise :class:`~repro.errors.ServingError` at submit time and are counted
+under ``admission_invalid``.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from ..errors import ServingError
 from ..observability import NULL_TELEMETRY
@@ -45,6 +55,45 @@ class AdmissionController:
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.accepted = 0
         self.rejected = 0
+        self.invalid = 0
+
+    def validate(
+        self,
+        grid,
+        steps: int,
+        grid_shape: tuple[int, ...],
+        max_steps: int | None = None,
+    ) -> np.ndarray:
+        """Reject a malformed request before it can poison a batch.
+
+        Returns the grid as a float64 array (the same conversion the
+        execution path would do, so validation sees what execution sees).
+        NaN/inf grids are the canonical poison: stacked into a batch they
+        fail *every* co-batched tenant's FFT, so they are cheapest to
+        refuse at the front door.
+        """
+        try:
+            arr = np.asarray(grid, dtype=np.float64)
+        except (TypeError, ValueError):
+            self._invalid(f"grid is not numeric ({type(grid).__name__})")
+        if arr.shape != tuple(grid_shape):
+            self._invalid(
+                f"grid shape {arr.shape} != plan grid shape {tuple(grid_shape)}"
+            )
+        if steps < 0:
+            self._invalid(f"steps must be >= 0, got {steps}")
+        if max_steps is not None and steps > max_steps:
+            self._invalid(
+                f"steps {steps} exceeds the configured ceiling {max_steps}"
+            )
+        if not np.isfinite(arr).all():
+            self._invalid("grid contains non-finite values (NaN or inf)")
+        return arr
+
+    def _invalid(self, reason: str) -> None:
+        self.invalid += 1
+        self.telemetry.count("admission_invalid")
+        raise ServingError(f"invalid request: {reason}")
 
     def admit(self, tenant: str, queued_total: int, queued_tenant: int) -> None:
         """Raise ``ServingError`` if the request must be shed; else record it.
@@ -79,4 +128,5 @@ class AdmissionController:
             "max_pending_per_tenant": self.max_pending_per_tenant,
             "accepted": self.accepted,
             "rejected": self.rejected,
+            "invalid": self.invalid,
         }

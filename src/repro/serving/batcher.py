@@ -23,6 +23,29 @@ latency.  :class:`StencilServer` walks the line explicitly:
 
 Batched execution is numerically exact: responses are bit-identical to a
 per-request ``plan.run`` loop (grids are stacked, never mixed).
+
+**Failure isolation.**  Co-batching must not create shared fate: one bad
+request (or one crashed worker) failing every co-batched tenant would
+undo the multi-tenancy story.  Four mechanisms compose:
+
+* *validation at admission* — malformed grids (wrong shape, non-finite
+  values) and over-ceiling step counts are refused at ``submit`` time,
+  before they can enter a batch at all;
+* *per-request deadlines* — ``request_timeout_ms`` fails only the
+  expired request's future; the batch it would have joined is unaffected;
+* *retry, then bisection* — a failed group execution is retried with
+  exponential backoff while the failure is plausibly transient (injected
+  transients, worker crashes); a persistent failure bisects the group so
+  the poisoned request alone fails and every healthy co-batched request
+  is re-run — bit-identical to what it would have gotten in a clean
+  batch, because batching never mixes grids;
+* *a circuit breaker* — repeated *infrastructure* crashes degrade the
+  execution mode (processes → threads → serial) instead of failing
+  requests, re-probing the faster mode after a cooldown
+  (:class:`~repro.serving.breaker.CircuitBreaker`).
+
+:meth:`StencilServer.health` exposes the whole picture — breaker state,
+expiry/poison counters, admission stats — for load balancers to scrape.
 """
 
 from __future__ import annotations
@@ -36,14 +59,17 @@ from typing import TYPE_CHECKING, Mapping
 
 import numpy as np
 
-from ..errors import ServingError
+from ..errors import FaultInjected, ServingError, WorkerCrashError
 from ..observability import NULL_TELEMETRY, Telemetry
 from ..parallel.batch import serve_batch
 from .admission import AdmissionController
+from .breaker import CircuitBreaker
 from .scheduler import DeficitRoundRobin
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.plan import FlashFFTStencil
+    from ..robustness.faults import FaultInjector
+    from ..robustness.guards import GuardPolicy
 
 __all__ = ["ServingConfig", "StencilServer"]
 
@@ -77,6 +103,35 @@ class ServingConfig:
     #: batches.  Blocking the loop that briefly is invisible next to the
     #: deadline; 0 disables inlining entirely.
     inline_below_ms: float = 2.0
+    #: Validate each request at admission (shape, finite values, step
+    #: ceiling) so a malformed grid is refused before it can poison a
+    #: batch.  ``max_steps`` is the per-request step ceiling (``None``:
+    #: unbounded).
+    validate_requests: bool = True
+    max_steps: int | None = None
+    #: End-to-end per-request deadline: a request still unanswered this
+    #: long after submit fails (alone) with ``ServingError``.  ``None``
+    #: disables expiry.
+    request_timeout_ms: float | None = None
+    #: Bounded retry with exponential backoff for transiently failed
+    #: group executions (injected transients, worker crashes) before
+    #: bisection takes over.
+    max_execution_retries: int = 2
+    retry_backoff_ms: float = 1.0
+    retry_backoff_factor: float = 2.0
+    #: Circuit breaker: consecutive worker crashes before the execution
+    #: mode degrades one rung (processes → threads → serial), and how
+    #: long to sit degraded before probing the faster mode again.
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 5.0
+    #: Execution mode at full capability: process count handed to
+    #: ``serve_batch`` (``None`` consults ``$REPRO_PROCS``; degraded
+    #: breaker rungs override it to 1).
+    processes: int | None = None
+    #: Output guards for each batch (a ``GuardPolicy``): non-finite or
+    #: out-of-range batch results raise instead of being returned, which
+    #: is what arms the bisection path for execution-time poison.
+    guards: "GuardPolicy | None" = None
 
     def __post_init__(self) -> None:
         if self.deadline_ms <= 0:
@@ -94,6 +149,40 @@ class ServingConfig:
         if not 0.0 < self.ewma_alpha <= 1.0:
             raise ServingError(
                 f"ewma_alpha must be in (0, 1], got {self.ewma_alpha}"
+            )
+        if self.max_steps is not None and self.max_steps < 0:
+            raise ServingError(
+                f"max_steps must be >= 0, got {self.max_steps}"
+            )
+        if self.request_timeout_ms is not None and self.request_timeout_ms <= 0:
+            raise ServingError(
+                f"request_timeout_ms must be > 0, got {self.request_timeout_ms}"
+            )
+        if self.max_execution_retries < 0:
+            raise ServingError(
+                f"max_execution_retries must be >= 0, "
+                f"got {self.max_execution_retries}"
+            )
+        if self.retry_backoff_ms < 0:
+            raise ServingError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.retry_backoff_factor < 1:
+            raise ServingError(
+                f"retry_backoff_factor must be >= 1, "
+                f"got {self.retry_backoff_factor}"
+            )
+        if self.breaker_threshold < 1:
+            raise ServingError(
+                f"breaker_threshold must be >= 1, got {self.breaker_threshold}"
+            )
+        if self.breaker_cooldown_s <= 0:
+            raise ServingError(
+                f"breaker_cooldown_s must be > 0, got {self.breaker_cooldown_s}"
+            )
+        if self.processes is not None and self.processes < 0:
+            raise ServingError(
+                f"processes must be >= 0, got {self.processes}"
             )
 
 
@@ -125,10 +214,14 @@ class StencilServer:
         plan: "FlashFFTStencil",
         config: ServingConfig | None = None,
         telemetry: Telemetry | None = None,
+        injector: "FaultInjector | None" = None,
     ) -> None:
         self.plan = plan
         self.config = config if config is not None else ServingConfig()
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        #: Chaos harness: process-level faults forwarded to the scale-out
+        #: execution path (benchmarks/bench_chaos.py drives this).
+        self.injector = injector
         points = float(np.prod(plan.grid_shape))
         quantum = self.config.quantum if self.config.quantum is not None else points
         self._scheduler = DeficitRoundRobin(
@@ -137,6 +230,11 @@ class StencilServer:
         self._admission = AdmissionController(
             max_queue=self.config.max_queue,
             max_pending_per_tenant=self.config.max_pending_per_tenant,
+            telemetry=self.telemetry,
+        )
+        self._breaker = CircuitBreaker(
+            threshold=self.config.breaker_threshold,
+            cooldown_s=self.config.breaker_cooldown_s,
             telemetry=self.telemetry,
         )
         self._cost = points
@@ -149,6 +247,10 @@ class StencilServer:
         self._service_ewma: float | None = None
         self.batches = 0
         self.served = 0
+        self.expired = 0
+        self.poisoned = 0
+        self.bisections = 0
+        self.execution_retries = 0
 
     # --------------------------------------------------------------- lifecycle
 
@@ -210,16 +312,20 @@ class StencilServer:
         """
         if not self._running or self._draining:
             raise ServingError("server is not accepting requests")
-        if steps < 0:
+        cfg = self.config
+        if cfg.validate_requests:
+            grid = self._admission.validate(
+                grid, steps, self.plan.grid_shape, cfg.max_steps
+            )
+        elif steps < 0:
             raise ServingError(f"steps must be >= 0, got {steps}")
         self._admission.admit(
             tenant,
             self._scheduler.pending() + self._inflight,
             self._scheduler.pending(tenant),
         )
-        future: "asyncio.Future[np.ndarray]" = (
-            asyncio.get_running_loop().create_future()
-        )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[np.ndarray]" = loop.create_future()
         req = _Request(
             grid=grid,
             steps=int(steps),
@@ -228,9 +334,32 @@ class StencilServer:
             cost=self._cost,
         )
         self._scheduler.push(tenant, req, cost=req.cost)
+        if cfg.request_timeout_ms is not None:
+            handle = loop.call_later(
+                cfg.request_timeout_ms / 1000.0, self._expire, req
+            )
+            future.add_done_callback(lambda _f, _h=handle: _h.cancel())
         assert self._wake is not None
         self._wake.set()
         return future
+
+    def _expire(self, req: _Request) -> None:
+        """Deadline timer fired: fail *this* request, leave its batch alone.
+
+        The request may still sit in the scheduler or already be queued in
+        a collected group — both paths skip requests whose future is done,
+        so expiry never perturbs the co-batched tenants.
+        """
+        if req.future.done():  # pragma: no cover - cancel/complete race
+            return
+        self.expired += 1
+        self.telemetry.count("requests_expired")
+        req.future.set_exception(
+            ServingError(
+                f"request expired after {self.config.request_timeout_ms} ms "
+                f"(tenant {req.tenant!r})"
+            )
+        )
 
     async def submit(
         self, grid: np.ndarray, steps: int, tenant: str = "default"
@@ -308,64 +437,139 @@ class StencilServer:
 
     async def _execute_groups(self, groups, loop, tel, batch) -> None:
         for steps, reqs in groups.items():
-            call = functools.partial(
-                serve_batch,
-                self.plan,
-                [r.grid for r in reqs],
-                steps,
-                double_layer=self.config.double_layer,
-                workers=self.config.workers,
-                telemetry=tel,
-            )
-            # The executor hop costs ~0.5 ms round trip; batches the EWMA
-            # predicts to finish faster than inline_below_ms run on the
-            # loop directly.  First batch (no EWMA yet) stays off-loop.
-            predicted_ms = (
-                None
-                if self._service_ewma is None
-                else self._service_ewma * 1000.0 * len(reqs)
-            )
-            inline = (
-                predicted_ms is not None
-                and predicted_ms < self.config.inline_below_ms
-            )
-            t0 = time.perf_counter()
-            try:
-                if inline:
-                    results = call()
-                else:
-                    results = await loop.run_in_executor(None, call)
-            except Exception as e:  # propagate to every waiting caller
-                for r in reqs:
-                    if not r.future.done():
-                        r.future.set_exception(e)
-                continue
-            elapsed = time.perf_counter() - t0
-            per_grid = elapsed / len(reqs)
-            alpha = self.config.ewma_alpha
-            self._service_ewma = (
-                per_grid
-                if self._service_ewma is None
-                else alpha * per_grid + (1 - alpha) * self._service_ewma
-            )
-            t_done = time.perf_counter()
-            for r, out in zip(reqs, results):
-                if not r.future.done():
-                    r.future.set_result(out)
-                if tel.enabled:
-                    tel.observe(
-                        "serve_latency_ms", (t_done - r.t_submit) * 1000.0
-                    )
-            self.served += len(reqs)
-            if tel.enabled:
-                tel.observe("serve_service_ms_per_grid", per_grid * 1000.0)
-                tel.count(
-                    "serving_inline_batches" if inline
-                    else "serving_executor_batches"
-                )
+            await self._execute_group(steps, reqs, loop, tel)
         self.batches += 1
         if tel.enabled:
             tel.observe("serve_batch_size", float(len(batch)))
+
+    async def _execute_group(self, steps, reqs, loop, tel) -> None:
+        """Serve one same-``steps`` group: retry transients, bisect poison.
+
+        Recovery escalates in two stages.  First a bounded retry loop with
+        exponential backoff absorbs failures that are plausibly transient
+        — worker crashes (which also feed the circuit breaker, so retries
+        may re-run in a degraded mode) and injected transients.  If the
+        failure persists, the group is bisected: halves re-run
+        independently until the poisoned request is alone and fails its
+        own future, while every healthy request gets its bit-identical
+        result (batching never mixes grids, so a re-run half equals its
+        slice of the original batch).
+        """
+        live = [r for r in reqs if not r.future.done()]
+        if not live:
+            return
+        cfg = self.config
+        delay = cfg.retry_backoff_ms / 1000.0
+        last_exc: Exception | None = None
+        for attempt in range(cfg.max_execution_retries + 1):
+            if attempt:
+                self.execution_retries += 1
+                tel.count("serving_retries")
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                delay *= cfg.retry_backoff_factor
+                live = [r for r in live if not r.future.done()]
+                if not live:
+                    return
+            try:
+                results, inline, per_grid = await self._dispatch(
+                    steps, live, loop, tel
+                )
+            except WorkerCrashError as e:
+                # Infrastructure, not data: feed the breaker and retry —
+                # possibly one rung down the degradation ladder.
+                last_exc = e
+                self._breaker.record_failure()
+                tel.count("serving_worker_crashes")
+                continue
+            except FaultInjected as e:
+                last_exc = e
+                if e.transient:
+                    continue
+                break  # persistent fault: no point retrying, isolate it
+            except Exception as e:
+                last_exc = e
+                break  # data/numerical/unknown failure: isolate it
+            self._breaker.record_success()
+            self._finish_group(live, results, inline, per_grid, tel)
+            return
+        live = [r for r in live if not r.future.done()]
+        if not live:
+            return
+        if len(live) == 1:
+            self.poisoned += 1
+            tel.count("serving_poisoned_requests")
+            live[0].future.set_exception(last_exc)
+            return
+        self.bisections += 1
+        tel.count("serving_bisections")
+        mid = len(live) // 2
+        await self._execute_group(steps, live[:mid], loop, tel)
+        await self._execute_group(steps, live[mid:], loop, tel)
+
+    async def _dispatch(self, steps, reqs, loop, tel):
+        """Run one group through ``serve_batch`` in the breaker's mode."""
+        mode = self._breaker.mode()
+        if mode == "processes":
+            processes, workers = self.config.processes, self.config.workers
+        elif mode == "threads":
+            processes, workers = 1, self.config.workers
+        else:  # serial
+            processes, workers = 1, 1
+        call = functools.partial(
+            serve_batch,
+            self.plan,
+            [r.grid for r in reqs],
+            steps,
+            double_layer=self.config.double_layer,
+            workers=workers,
+            telemetry=tel,
+            processes=processes,
+            guards=self.config.guards,
+            injector=self.injector,
+        )
+        # The executor hop costs ~0.5 ms round trip; batches the EWMA
+        # predicts to finish faster than inline_below_ms run on the
+        # loop directly.  First batch (no EWMA yet) stays off-loop.
+        predicted_ms = (
+            None
+            if self._service_ewma is None
+            else self._service_ewma * 1000.0 * len(reqs)
+        )
+        inline = (
+            predicted_ms is not None
+            and predicted_ms < self.config.inline_below_ms
+        )
+        t0 = time.perf_counter()
+        if inline:
+            results = call()
+        else:
+            results = await loop.run_in_executor(None, call)
+        elapsed = time.perf_counter() - t0
+        return results, inline, elapsed / len(reqs)
+
+    def _finish_group(self, reqs, results, inline, per_grid, tel) -> None:
+        alpha = self.config.ewma_alpha
+        self._service_ewma = (
+            per_grid
+            if self._service_ewma is None
+            else alpha * per_grid + (1 - alpha) * self._service_ewma
+        )
+        t_done = time.perf_counter()
+        for r, out in zip(reqs, results):
+            if not r.future.done():
+                r.future.set_result(out)
+            if tel.enabled:
+                tel.observe(
+                    "serve_latency_ms", (t_done - r.t_submit) * 1000.0
+                )
+        self.served += len(reqs)
+        if tel.enabled:
+            tel.observe("serve_service_ms_per_grid", per_grid * 1000.0)
+            tel.count(
+                "serving_inline_batches" if inline
+                else "serving_executor_batches"
+            )
 
     # ------------------------------------------------------------- introspect
 
@@ -380,6 +584,26 @@ class StencilServer:
             "service_ewma_ms": (
                 None if self._service_ewma is None else self._service_ewma * 1000.0
             ),
+            "admission": self._admission.info(),
+        }
+
+    def health(self) -> dict:
+        """Liveness + degradation snapshot for a load balancer to scrape.
+
+        Read-only: never arms a breaker probe or mutates counters.
+        """
+        return {
+            "running": self._running,
+            "draining": self._draining,
+            "breaker": self._breaker.health(),
+            "pending": self._scheduler.pending(),
+            "inflight": self._inflight,
+            "batches": self.batches,
+            "served": self.served,
+            "expired": self.expired,
+            "poisoned": self.poisoned,
+            "bisections": self.bisections,
+            "execution_retries": self.execution_retries,
             "admission": self._admission.info(),
         }
 

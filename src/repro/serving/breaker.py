@@ -1,0 +1,164 @@
+"""Circuit breaker: degrade the execution mode instead of failing requests.
+
+A serving replica whose process pool keeps crashing (bad native library,
+cgroup OOM ceiling, broken shared-memory mount) should not convert every
+request into a :class:`~repro.errors.WorkerCrashError` — and equally
+should not burn its latency budget respawning a pool that dies on
+arrival.  The breaker watches *infrastructure* failures only (worker
+crashes, not data errors — a poisoned request must not take the
+execution mode down with it) and walks a degradation ladder::
+
+    processes  →  threads  →  serial
+
+After ``threshold`` consecutive failures at a level it trips one step
+down; after ``cooldown_s`` of living at a degraded level the next batch
+*probes* the level above (half-open): a success climbs back up, a
+failure re-arms the cooldown.  All transitions are visible through
+:meth:`health` and counted in telemetry (``breaker_trips``,
+``breaker_probes``, ``breaker_recoveries``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from ..errors import ServingError
+from ..observability import NULL_TELEMETRY
+
+__all__ = ["CircuitBreaker", "DEGRADATION_LADDER"]
+
+#: Default execution-mode ladder, most capable first.
+DEGRADATION_LADDER = ("processes", "threads", "serial")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker over an execution-mode ladder.
+
+    Parameters
+    ----------
+    threshold:
+        Consecutive infrastructure failures at one level before tripping
+        to the next (more degraded) level.
+    cooldown_s:
+        Seconds to sit at a degraded level before the next dispatch
+        probes the level above.
+    modes:
+        The ladder, most capable first; the breaker starts at index 0.
+    clock:
+        Injectable monotonic clock (tests wind it forward instead of
+        sleeping).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown_s: float = 5.0,
+        modes: Sequence[str] = DEGRADATION_LADDER,
+        telemetry=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ServingError(f"threshold must be >= 1, got {threshold}")
+        if cooldown_s <= 0:
+            raise ServingError(f"cooldown_s must be > 0, got {cooldown_s}")
+        if not modes:
+            raise ServingError("modes ladder must not be empty")
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self.modes = tuple(modes)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self._clock = clock
+        self._level = 0
+        self._consecutive = 0
+        self._cooled_at: float | None = None  # cooldown start (monotonic)
+        self._probing = False
+        self.trips = 0
+        self.probes = 0
+        self.recoveries = 0
+
+    # ---------------------------------------------------------------- state
+
+    def mode(self) -> str:
+        """Execution mode the *next* dispatch should use.
+
+        At a degraded level past its cooldown this arms a half-open probe
+        and returns the level above; the probe stays armed until
+        :meth:`record_success` (climb) or :meth:`record_failure`
+        (re-arm cooldown) resolves it.
+        """
+        if (
+            self._level > 0
+            and not self._probing
+            and self._cooled_at is not None
+            and self._clock() - self._cooled_at >= self.cooldown_s
+        ):
+            self._probing = True
+            self.probes += 1
+            self.telemetry.count("breaker_probes")
+        if self._probing:
+            return self.modes[self._level - 1]
+        return self.modes[self._level]
+
+    def record_success(self) -> None:
+        """A dispatch finished cleanly; a pending probe climbs one level."""
+        self._consecutive = 0
+        if self._probing:
+            self._probing = False
+            self._level -= 1
+            self.recoveries += 1
+            self.telemetry.count("breaker_recoveries")
+            # Still degraded? Start the next cooldown so the ladder can be
+            # climbed one probe at a time.
+            self._cooled_at = self._clock() if self._level > 0 else None
+
+    def record_failure(self) -> bool:
+        """An *infrastructure* failure; returns True when the level trips.
+
+        A failed probe never counts toward the threshold — it re-arms the
+        cooldown at the current (already degraded) level.
+        """
+        if self._probing:
+            self._probing = False
+            self._cooled_at = self._clock()
+            self._consecutive = 0
+            return False
+        self._consecutive += 1
+        if (
+            self._consecutive >= self.threshold
+            and self._level < len(self.modes) - 1
+        ):
+            self._level += 1
+            self._consecutive = 0
+            self._cooled_at = self._clock()
+            self.trips += 1
+            self.telemetry.count("breaker_trips")
+            return True
+        return False
+
+    # --------------------------------------------------------------- report
+
+    def health(self) -> dict:
+        """Read-only snapshot; never arms a probe (unlike :meth:`mode`)."""
+        remaining = None
+        if self._level > 0 and self._cooled_at is not None and not self._probing:
+            remaining = max(
+                0.0, self.cooldown_s - (self._clock() - self._cooled_at)
+            )
+        return {
+            "mode": self.modes[self._level],
+            "level": self._level,
+            "degraded": self._level > 0,
+            "probing": self._probing,
+            "consecutive_failures": self._consecutive,
+            "cooldown_remaining_s": remaining,
+            "trips": self.trips,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitBreaker(mode={self.modes[self._level]!r}, "
+            f"trips={self.trips}, probing={self._probing})"
+        )

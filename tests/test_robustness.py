@@ -281,6 +281,40 @@ class TestCheckpointStores:
             store.save(i, np.zeros(2))
         assert len(store) == 1
 
+    def test_disk_max_snapshots_tight_cap(self, tmp_path):
+        # A long recovery loop with max_snapshots=1 must never grow the
+        # directory: exactly one snapshot file after every save, and it is
+        # always the newest one.
+        store = DiskCheckpointStore(tmp_path, max_snapshots=1)
+        assert store.max_snapshots == 1
+        for i in range(20):
+            store.save(i, np.full(3, float(i)))
+            files = list(tmp_path.glob("ckpt_*.npy"))
+            assert len(files) == 1
+            step, back = store.latest()
+            assert step == i and back[0] == float(i)
+        with pytest.raises(CheckpointError, match="keep"):
+            DiskCheckpointStore(tmp_path, max_snapshots=0)
+
+    def test_disk_sweeps_dead_writer_tmps(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path, keep=2)
+        # Orphan left by a crashed writer (a just-reaped subprocess pid is
+        # provably dead) and one owned by *this* process, which must
+        # survive the sweep.
+        import os as _os
+        import subprocess
+
+        child = subprocess.Popen(["true"])
+        child.wait()
+        dead = tmp_path / f".ckpt_00000001.npy.{child.pid}.tmp"
+        dead.write_bytes(b"partial")
+        mine = tmp_path / f".ckpt_00000002.npy.{_os.getpid()}.tmp"
+        mine.write_bytes(b"inflight")
+        store.save(3, np.zeros(2))
+        assert not dead.exists()
+        assert mine.exists()
+        mine.unlink()
+
     def test_disk_corrupt_file_raises_typed(self, tmp_path):
         store = DiskCheckpointStore(tmp_path)
         (tmp_path / "ckpt_00000001.npy").write_bytes(b"not a npy file")

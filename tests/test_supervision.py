@@ -1,0 +1,272 @@
+"""Worker supervision tests: crash/hang detection, bit-identical recovery.
+
+The engine's recovery contract is that a crashed or hung rank never
+changes the answer: whatever the failure timing (mid-FFT vs at the halo
+exchange) and whatever the start method (fork vs spawn), the recovered
+output is byte-for-byte the serial result, the pool respawns for the next
+run, and nothing leaks in ``/dev/shm``.  ``run_many_processes`` carries
+the same contract at chunk granularity with selectable error policy.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil
+from repro.distributed import ProcessEngine, run_many_processes
+from repro.distributed.engine import RANK_TIMEOUT_ENV, default_rank_timeout
+from repro.errors import PlanError, WorkerCrashError
+from repro.observability import Telemetry
+from repro.robustness import FaultInjector, FaultSpec
+
+
+def _plan() -> FlashFFTStencil:
+    return FlashFFTStencil(
+        (256,),
+        kz.heat_1d(),
+        fused_steps=4,
+        tile=(32,),
+        boundary="periodic",
+        workers=1,
+    )
+
+
+def _shm_entries() -> set[str]:
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-tmpfs platform
+        return set()
+
+
+def _crash(stage: str, apply_index: int = 0, rank: int = 0) -> FaultInjector:
+    return FaultInjector(
+        [
+            FaultSpec(
+                stage=stage, kind="rank_crash",
+                apply_index=apply_index, rank=rank,
+            )
+        ]
+    )
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("start_method", ["fork", "spawn"])
+    @pytest.mark.parametrize("stage", ["fuse", "exchange"])
+    def test_crash_recovered_bit_identical(self, start_method, stage, rng):
+        # Two applications so the exchange site exists; crash-mid-FFT
+        # ("fuse") and crash-at-exchange hit different barrier states.
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2, start_method=start_method)
+        try:
+            tel = Telemetry()
+            x = rng.standard_normal(256)
+            want = plan.run(x, 8)
+            got = eng.run(x, 2, telemetry=tel, injector=_crash(stage))
+            assert np.array_equal(got, want)
+            assert tel.counter("rank_crashes") == 1
+            assert tel.counter("rank_recoveries") == 1
+            # The pool respawned: a clean follow-up run works and resets
+            # the failure streak.
+            y = rng.standard_normal(256)
+            assert np.array_equal(eng.run(y, 2), plan.run(y, 8))
+            assert eng.rank_restarts == 0
+        finally:
+            eng.close()
+
+    def test_single_application_uses_slab_recovery(self, rng):
+        # With one application every surviving rank finished cleanly, so
+        # only the dead rank's slab re-runs (inline, on the shared bufs).
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2)
+        try:
+            tel = Telemetry()
+            x = rng.standard_normal(256)
+            got = eng.run(x, 1, telemetry=tel, injector=_crash("fuse", rank=1))
+            assert np.array_equal(got, plan.run(x, 4))
+            events = tel.events("rank_recovered")
+            assert len(events) == 1
+            assert events[0]["mode"] == "slab"
+            assert events[0]["ranks"] == [1]
+        finally:
+            eng.close()
+
+    def test_multi_application_uses_full_redo(self, rng):
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2)
+        try:
+            tel = Telemetry()
+            x = rng.standard_normal(256)
+            got = eng.run(x, 3, telemetry=tel, injector=_crash("exchange", 1))
+            assert np.array_equal(got, plan.run(x, 12))
+            assert tel.events("rank_recovered")[0]["mode"] == "full"
+        finally:
+            eng.close()
+
+    def test_hang_detected_and_recovered(self, rng):
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2, rank_timeout=0.5)
+        try:
+            tel = Telemetry()
+            inj = FaultInjector(
+                [FaultSpec(stage="fuse", kind="rank_hang", rank=0)]
+            )
+            x = rng.standard_normal(256)
+            got = eng.run(x, 2, telemetry=tel, injector=inj)
+            assert np.array_equal(got, plan.run(x, 8))
+            assert tel.counter("rank_hangs") == 1
+            assert tel.counter("rank_recoveries") == 1
+        finally:
+            eng.close()
+
+    def test_escalation_after_restart_budget(self, rng):
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2, max_rank_restarts=0)
+        try:
+            x = rng.standard_normal(256)
+            with pytest.raises(WorkerCrashError) as ei:
+                eng.run(x, 2, injector=_crash("fuse"))
+            assert ei.value.ranks == (0,)
+            assert ei.value.restarts == 1
+            # Escalation tears the pool down but the engine stays usable.
+            assert np.array_equal(eng.run(x, 2), plan.run(x, 8))
+        finally:
+            eng.close()
+
+    def test_no_shm_leak_after_crash_recovery(self, rng):
+        before = _shm_entries()
+        plan = _plan()
+        eng = ProcessEngine(plan.segments, 2)
+        try:
+            x = rng.standard_normal(256)
+            eng.run(x, 2, injector=_crash("fuse"))
+        finally:
+            eng.close()
+        assert _shm_entries() - before == set()
+
+    def test_rank_timeout_env(self, monkeypatch):
+        monkeypatch.delenv(RANK_TIMEOUT_ENV, raising=False)
+        assert default_rank_timeout() is None
+        monkeypatch.setenv(RANK_TIMEOUT_ENV, "0.75")
+        assert default_rank_timeout() == 0.75
+        for bad in ("zero", "-1", "0", "inf", "nan"):
+            monkeypatch.setenv(RANK_TIMEOUT_ENV, bad)
+            with pytest.raises(PlanError):
+                default_rank_timeout()
+
+    def test_engine_param_validation(self):
+        plan = _plan()
+        with pytest.raises(PlanError):
+            ProcessEngine(plan.segments, 2, rank_timeout=0.0)
+        with pytest.raises(PlanError):
+            ProcessEngine(plan.segments, 2, max_rank_restarts=-1)
+
+
+class TestRunManyIsolation:
+    def _grids(self, rng, n=4):
+        return [rng.standard_normal(256) for _ in range(n)]
+
+    def test_chunk_crash_recovered(self, rng):
+        plan = _plan()
+        grids = self._grids(rng)
+        want = np.stack([plan.run(g, 8) for g in grids])
+        tel = Telemetry()
+        inj = FaultInjector(
+            [
+                FaultSpec(
+                    stage="fuse", kind="rank_crash", apply_index=2, rank=1
+                )
+            ]
+        )
+        got = run_many_processes(plan, grids, 8, 2, telemetry=tel, injector=inj)
+        assert np.array_equal(got, want)
+        assert tel.counter("chunk_crashes") == 1
+        assert tel.counter("chunk_recoveries") == 1
+
+    def test_chunk_hang_recovered(self, rng):
+        plan = _plan()
+        grids = self._grids(rng)
+        want = np.stack([plan.run(g, 8) for g in grids])
+        tel = Telemetry()
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="rank_hang", rank=0)]
+        )
+        got = run_many_processes(
+            plan, grids, 8, 2, telemetry=tel, injector=inj, rank_timeout=0.5
+        )
+        assert np.array_equal(got, want)
+        assert tel.counter("chunk_hangs") == 1
+
+    def test_raise_mode_escalates_crash(self, rng):
+        plan = _plan()
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="rank_crash", apply_index=2, rank=1)]
+        )
+        with pytest.raises(WorkerCrashError) as ei:
+            run_many_processes(
+                plan, self._grids(rng), 8, 2, injector=inj, on_error="raise"
+            )
+        assert 1 in ei.value.ranks
+
+    def test_return_mode_reports_per_grid_errors(self, rng, monkeypatch):
+        # Crash chunk 1, then make the inline redo of grid 2 fail too:
+        # grid 2 reports its error with a NaN row, grid 3 (same chunk)
+        # still comes back bit-identical.
+        plan = _plan()
+        grids = self._grids(rng)
+        refs = [plan.run(g, 8) for g in grids]
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="rank_crash", apply_index=2, rank=1)]
+        )
+        real_run = plan.run
+
+        def flaky_run(grid, steps, **kw):
+            if np.array_equal(grid, grids[2]):
+                raise PlanError("synthetic per-grid failure")
+            return real_run(grid, steps, **kw)
+
+        monkeypatch.setattr(plan, "run", flaky_run)
+        result, errors = run_many_processes(
+            plan, grids, 8, 2, injector=inj, on_error="return"
+        )
+        assert set(errors) == {2}
+        assert isinstance(errors[2], PlanError)
+        assert np.isnan(result[2]).all()
+        for b in (0, 1, 3):
+            assert np.array_equal(result[b], refs[b])
+
+    def test_recover_mode_reraises_genuine_errors(self, rng, monkeypatch):
+        plan = _plan()
+        grids = self._grids(rng)
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="rank_crash", apply_index=2, rank=1)]
+        )
+        real_run = plan.run
+
+        def flaky_run(grid, steps, **kw):
+            if np.array_equal(grid, grids[2]):
+                raise PlanError("synthetic per-grid failure")
+            return real_run(grid, steps, **kw)
+
+        monkeypatch.setattr(plan, "run", flaky_run)
+        with pytest.raises(PlanError, match="synthetic per-grid failure"):
+            run_many_processes(plan, grids, 8, 2, injector=inj)
+
+    def test_invalid_on_error_rejected(self, rng):
+        plan = _plan()
+        with pytest.raises(PlanError, match="on_error"):
+            run_many_processes(
+                plan, self._grids(rng), 8, 2, on_error="explode"
+            )
+
+    def test_no_shm_leak_after_chunk_crash(self, rng):
+        before = _shm_entries()
+        plan = _plan()
+        inj = FaultInjector(
+            [FaultSpec(stage="fuse", kind="rank_crash", apply_index=0, rank=0)]
+        )
+        run_many_processes(plan, self._grids(rng), 8, 2, injector=inj)
+        assert _shm_entries() - before == set()
