@@ -1,0 +1,315 @@
+"""Mixed-precision benchmark: float32-tier speedup and routing fidelity.
+
+Measures the precision dimension of the execution engine and writes
+``BENCH_precision.json``:
+
+* **tier throughput** — steady-state ``apply()`` of the float32 tier vs
+  the float64 reference on Heat-1D/2D/3D plans, sampled *interleaved* so
+  allocator drift and CPU-frequency wander hit both tiers equally.  The
+  timed plans run on the ``scipy`` FFT backend: the tier speedup is a
+  statement about the engine, so it is measured on a provider with a
+  native single-precision transform kernel (``np.fft``'s float32 path is
+  scalar on most builds and hides the memory-traffic win; its ratio is
+  recorded informationally, ungated);
+* **double-layer packing** — per-grid cost of the float32 complex64
+  Double-layer pass vs the same pass at float64/complex128: two float32
+  grids per complex word is the packing-density doubling §3.2.3 banks on;
+* **tolerance routing** — every ``tolerance=``-routed response is
+  compared against the float64 reference; a routed answer outside its
+  declared budget is a gate failure, not a statistic.
+
+Gates (``--no-target-check`` skips all; ``--no-speedup-check`` waives only
+the wall-clock ratios, keeping the accuracy gates fatal — the CI setting,
+since shared runners make timing ratios noisy; ``--quick``/``--smoke``
+shrinks reps):
+
+* float32 ``apply()`` >= 1.3x float64 on each of Heat-1D/2D/3D (scipy
+  backend, interleaved timing);
+* double-layer float32 per-grid cost >= 1.8x cheaper than float64;
+* float32 results stay within the router's modeled error bound of the
+  float64 reference, and 100% of routed responses land within their
+  declared tolerance.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_precision.py           # full gate
+    PYTHONPATH=src python benchmarks/bench_precision.py --quick   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.accuracy import PrecisionErrorModel
+from repro.core import kernels as kz
+from repro.core.plan import FlashFFTStencil, plan_cache_clear
+from repro.observability.telemetry import Telemetry
+from repro.parallel import cpu_count
+from repro.robustness.sentinel import normalized_drift
+
+#: (slug, grid shape, kernel factory, tile, fused steps) — one row per
+#: dimensionality, sized so the window working set exceeds cache and the
+#: float32 memory-traffic halving is visible above FFT flop noise.
+TIER_CASES = (
+    ("heat-1d", (1 << 20,), kz.heat_1d, (4096,), 8),
+    ("heat-2d", (512, 512), kz.heat_2d, (64, 64), 4),
+    ("heat-3d", (64, 64, 64), kz.heat_3d, (32, 32, 32), 2),
+)
+
+TIER_SPEEDUP_TARGET = 1.3
+PACKING_SPEEDUP_TARGET = 1.8
+
+#: Double-layer workload: B grids big enough that the packed transform,
+#: not dispatch, is the bill.
+DL_SHAPE = (1 << 18,)
+DL_TILE = (4096,)
+DL_FUSED = 8
+DL_STEPS = 16
+DL_BATCH = 8
+
+#: Routing workload and the declared budgets swept over it.
+ROUTE_SHAPE = (4096,)
+ROUTE_FUSED = 4
+ROUTE_STEPS = 16
+ROUTE_TOLERANCES = (1e-3, 1e-6, 1e-13)
+
+
+def _interleaved_ms(fn_a, fn_b, reps: int, warmup: int) -> tuple[float, float]:
+    """Median ms of two closures sampled alternately (A, B, B, A, ...)."""
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+    a, b = [], []
+    for i in range(reps):
+        order = ((fn_a, a), (fn_b, b)) if i % 2 == 0 else ((fn_b, b), (fn_a, a))
+        for fn, sink in order:
+            t0 = time.perf_counter()
+            fn()
+            sink.append((time.perf_counter() - t0) * 1e3)
+    return statistics.median(a), statistics.median(b)
+
+
+def bench_tier_throughput(
+    reps: int, warmup: int, failures: list[str], speedup_gates: bool
+) -> list[dict]:
+    """Interleaved float64-vs-float32 ``apply()`` on each heat case."""
+    rows = []
+    for slug, shape, kf, tile, fused in TIER_CASES:
+        x = np.random.default_rng(0xD7).standard_normal(shape)
+        x32 = x.astype(np.float32)
+        row: dict = {
+            "name": slug,
+            "grid_shape": list(shape),
+            "tile": list(tile),
+            "fused_steps": fused,
+        }
+        # Correctness before speed: the tier must sit inside its own
+        # modeled bound against the reference before a timing means much.
+        p64n = FlashFFTStencil(shape, kf(), fused_steps=fused, tile=tile)
+        p32n = p64n.variant("float32")
+        drift = normalized_drift(p32n.apply(x32), p64n.apply(x))
+        bound = PrecisionErrorModel(p64n).predicted(fused)
+        row["drift_vs_f64"] = drift
+        row["modeled_bound"] = bound
+        if drift > bound:
+            failures.append(
+                f"tier {slug}: float32 drift {drift:.3e} exceeds the "
+                f"modeled bound {bound:.3e}"
+            )
+        for backend, gated in (("scipy", True), ("numpy", False)):
+            p64 = FlashFFTStencil(
+                shape, kf(), fused_steps=fused, tile=tile, backend=backend
+            )
+            p32 = p64.variant("float32")
+            t64, t32 = _interleaved_ms(
+                lambda: p64.apply(x), lambda: p32.apply(x32), reps, warmup
+            )
+            speedup = t64 / t32
+            row[backend] = {
+                "f64_ms": round(t64, 4),
+                "f32_ms": round(t32, 4),
+                "speedup": round(speedup, 3),
+                "gated": gated,
+            }
+            if gated and speedup_gates and speedup < TIER_SPEEDUP_TARGET:
+                failures.append(
+                    f"tier {slug} ({backend}): float32 speedup "
+                    f"{speedup:.2f}x < {TIER_SPEEDUP_TARGET}x"
+                )
+        rows.append(row)
+    return rows
+
+
+def bench_double_layer(
+    reps: int, warmup: int, failures: list[str], batch: int, speedup_gates: bool
+) -> dict:
+    """Per-grid Double-layer cost: complex64 packing vs complex128."""
+    p64 = FlashFFTStencil(
+        DL_SHAPE, kz.heat_1d(), fused_steps=DL_FUSED, tile=DL_TILE,
+        backend="scipy",
+    )
+    p32 = p64.variant("float32")
+    rng = np.random.default_rng(0xDA)
+    gs = [rng.standard_normal(DL_SHAPE) for _ in range(batch)]
+    gs32 = [g.astype(np.float32) for g in gs]
+    ref = p64.run_many(gs, DL_STEPS, double_layer=True)
+    got = p32.run_many(gs32, DL_STEPS, double_layer=True)
+    drift = normalized_drift(got, ref)
+    bound = PrecisionErrorModel(p64).predicted(DL_STEPS)
+    if drift > bound:
+        failures.append(
+            f"double-layer: float32 drift {drift:.3e} exceeds bound {bound:.3e}"
+        )
+    t64, t32 = _interleaved_ms(
+        lambda: p64.run_many(gs, DL_STEPS, double_layer=True),
+        lambda: p32.run_many(gs32, DL_STEPS, double_layer=True),
+        reps,
+        warmup,
+    )
+    speedup = t64 / t32
+    if speedup_gates and speedup < PACKING_SPEEDUP_TARGET:
+        failures.append(
+            f"double-layer: float32 packing {speedup:.2f}x < "
+            f"{PACKING_SPEEDUP_TARGET}x the float64 per-grid cost"
+        )
+    return {
+        "grid_shape": list(DL_SHAPE),
+        "batch": batch,
+        "total_steps": DL_STEPS,
+        "f64_ms_per_grid": round(t64 / batch, 4),
+        "f32_ms_per_grid": round(t32 / batch, 4),
+        "speedup": round(speedup, 3),
+        "drift_vs_f64": drift,
+        "modeled_bound": bound,
+    }
+
+
+def bench_routing(requests: int, failures: list[str]) -> dict:
+    """Every routed response must land inside its declared tolerance."""
+    plan = FlashFFTStencil(ROUTE_SHAPE, kz.heat_1d(), fused_steps=ROUTE_FUSED)
+    tel = Telemetry()
+    rng = np.random.default_rng(0x707)
+    rows = []
+    within = 0
+    total = 0
+    for tol in ROUTE_TOLERANCES:
+        tier = plan.router().route(ROUTE_STEPS, tol)
+        worst = 0.0
+        for _ in range(requests):
+            g = rng.standard_normal(ROUTE_SHAPE)
+            out = plan.run(g, ROUTE_STEPS, tolerance=tol, telemetry=tel)
+            drift = normalized_drift(out, plan.run(g, ROUTE_STEPS))
+            worst = max(worst, drift)
+            total += 1
+            if drift <= tol:
+                within += 1
+            else:
+                failures.append(
+                    f"routing: response at tolerance {tol:g} drifted "
+                    f"{drift:.3e} from the float64 reference"
+                )
+        rows.append({"tolerance": tol, "tier": tier, "worst_drift": worst})
+    return {
+        "requests": total,
+        "within_tolerance": within,
+        "tolerances": rows,
+        "counters": {
+            "precision_requests_f32": tel.counter("precision_requests_f32"),
+            "precision_requests_f64": tel.counter("precision_requests_f64"),
+            "precision_probes": tel.counter("precision_probes"),
+            "precision_escalations": tel.counter("precision_escalations"),
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--quick", "--smoke", dest="quick", action="store_true",
+        help="CI smoke: fewer reps and requests",
+    )
+    ap.add_argument("--reps", type=int, default=None, help="timing repetitions")
+    ap.add_argument(
+        "--warmup", type=int, default=None, help="warmup iterations per section"
+    )
+    ap.add_argument(
+        "--no-target-check", action="store_true", help="record only, no gates"
+    )
+    ap.add_argument(
+        "--no-speedup-check",
+        action="store_true",
+        help="waive the wall-clock speedup gates (CI noise); accuracy gates stay fatal",
+    )
+    ap.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_precision.json",
+    )
+    args = ap.parse_args(argv)
+    reps = args.reps if args.reps is not None else (3 if args.quick else 11)
+    if reps < 1:
+        ap.error(f"--reps must be >= 1, got {reps}")
+    warmup = args.warmup if args.warmup is not None else (1 if args.quick else 3)
+    if warmup < 0:
+        ap.error(f"--warmup must be >= 0, got {warmup}")
+
+    plan_cache_clear()
+    failures: list[str] = []
+    report = {
+        "benchmark": "precision",
+        "reps": reps,
+        "warmup": warmup,
+        "cpu_count": cpu_count(),
+        "tier_throughput": bench_tier_throughput(
+            reps, warmup, failures, not args.no_speedup_check
+        ),
+        "double_layer": bench_double_layer(
+            reps,
+            warmup,
+            failures,
+            batch=4 if args.quick else DL_BATCH,
+            speedup_gates=not args.no_speedup_check,
+        ),
+        "routing": bench_routing(2 if args.quick else 5, failures),
+    }
+    report["gates_passed"] = not failures
+    report["failures"] = list(failures)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    for row in report["tier_throughput"]:
+        print(
+            f"{row['name']}: scipy {row['scipy']['speedup']:.2f}x "
+            f"(numpy {row['numpy']['speedup']:.2f}x, ungated), "
+            f"drift {row['drift_vs_f64']:.2e} <= bound {row['modeled_bound']:.2e}"
+        )
+    dl = report["double_layer"]
+    print(
+        f"double-layer: {dl['speedup']:.2f}x per-grid "
+        f"({dl['f64_ms_per_grid']:.2f} -> {dl['f32_ms_per_grid']:.2f} ms)"
+    )
+    rt = report["routing"]
+    print(
+        f"routing: {rt['within_tolerance']}/{rt['requests']} within budget; "
+        f"f32={rt['counters']['precision_requests_f32']} "
+        f"f64={rt['counters']['precision_requests_f64']}"
+    )
+    if args.no_target_check:
+        print(f"gates skipped; report at {args.output}")
+        return 0
+    if failures:
+        print("GATE FAILURES:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"all gates passed; report at {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

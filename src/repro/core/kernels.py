@@ -31,6 +31,7 @@ from typing import Iterable, Mapping, Sequence
 import numpy as np
 
 from ..errors import KernelError
+from .precision import complex_dtype, validate_precision
 
 __all__ = [
     "StencilKernel",
@@ -157,7 +158,9 @@ class StencilKernel:
         """Offsets -> weight dictionary view."""
         return dict(zip(self.offsets, self.weights))
 
-    def spectrum(self, shape: int | Sequence[int]) -> np.ndarray:
+    def spectrum(
+        self, shape: int | Sequence[int], precision: str = "float64"
+    ) -> np.ndarray:
         """Circular frequency response ``H`` on a periodic grid of ``shape``.
 
         ``apply == ifftn(fftn(x) * H).real`` for periodic boundaries.  The
@@ -165,18 +168,30 @@ class StencilKernel:
 
         Results are cached per ``(kernel, shape)`` and returned as read-only
         arrays — the spectrum is pure auxiliary data (§3.1), computed once
-        and reused by every plan/executor that needs it.
+        and reused by every plan/executor that needs it.  ``precision``
+        selects the storage dtype: the ``"float32"`` tier stores a complex64
+        copy (derived once from the complex128 entry) under its own cache
+        key, so mixed-precision pipelines never pay a silent upcast in the
+        spectral multiply.
         """
-        return _cached_spectrum(self, self._canonical_shape(shape))
+        return _cached_spectrum(self, self._canonical_shape(shape), precision)
 
-    def temporal_spectrum(self, shape: int | Sequence[int], steps: int) -> np.ndarray:
+    def temporal_spectrum(
+        self, shape: int | Sequence[int], steps: int, precision: str = "float64"
+    ) -> np.ndarray:
         """``H**steps`` — Equation (10): fusing ``steps`` time iterations.
 
-        Cached per ``(kernel, shape, steps)``; returns a read-only array.
+        Cached per ``(kernel, shape, steps[, precision])``; returns a
+        read-only array (complex128 for the ``"float64"`` tier, complex64
+        for ``"float32"``).  The float32 entry is always *derived from* the
+        double-precision spectrum — ``H`` is exponentiated in complex128
+        and rounded once, not exponentiated in complex64.
         """
         if steps < 1:
             raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
-        return _cached_temporal_spectrum(self, self._canonical_shape(shape), int(steps))
+        return _cached_temporal_spectrum(
+            self, self._canonical_shape(shape), int(steps), precision
+        )
 
     def _canonical_shape(self, shape: int | Sequence[int]) -> tuple[int, ...]:
         """Validate and canonicalise a spectrum grid shape for this kernel."""
@@ -299,14 +314,31 @@ _spectrum_cache_stats = {"hits": 0, "misses": 0, "seeds": 0}
 _spectrum_cache_lock = threading.Lock()
 
 
-def _cached_spectrum(kernel: StencilKernel, shape: tuple[int, ...]) -> np.ndarray:
-    return _cached_temporal_spectrum(kernel, shape, 1)
+def _cached_spectrum(
+    kernel: StencilKernel, shape: tuple[int, ...], precision: str = "float64"
+) -> np.ndarray:
+    return _cached_temporal_spectrum(kernel, shape, 1, precision)
+
+
+def _spectrum_key(
+    kernel: StencilKernel, shape: tuple[int, ...], steps: int, precision: str
+) -> tuple:
+    # The reference tier keeps the historical 3-tuple key so seeded caches,
+    # telemetry baselines, and the float64 hit pattern are byte-identical
+    # to the pre-precision engine; other tiers append their tier name.
+    if precision == "float64":
+        return (kernel, shape, steps)
+    return (kernel, shape, steps, precision)
 
 
 def _cached_temporal_spectrum(
-    kernel: StencilKernel, shape: tuple[int, ...], steps: int
+    kernel: StencilKernel,
+    shape: tuple[int, ...],
+    steps: int,
+    precision: str = "float64",
 ) -> np.ndarray:
-    key = (kernel, shape, steps)
+    validate_precision(precision)
+    key = _spectrum_key(kernel, shape, steps, precision)
     with _spectrum_cache_lock:
         spec = _spectrum_cache.get(key)
         if spec is not None:
@@ -315,6 +347,19 @@ def _cached_temporal_spectrum(
             return spec
         _spectrum_cache_stats["misses"] += 1
         base = _spectrum_cache.get((kernel, shape, 1))
+    if precision != "float64":
+        # Reduced tiers are a rounding of the double entry, never an
+        # independent derivation — one source of truth for H**steps.
+        spec = _cached_temporal_spectrum(kernel, shape, steps).astype(
+            complex_dtype(precision)
+        )
+        spec.flags.writeable = False
+        with _spectrum_cache_lock:
+            _spectrum_cache[key] = spec
+            _spectrum_cache.move_to_end(key)
+            while len(_spectrum_cache) > _SPECTRUM_CACHE_MAX:
+                _spectrum_cache.popitem(last=False)
+        return spec
     # Derive outside the lock: FFTs are slow and the result is idempotent —
     # a racing duplicate derivation just overwrites with an equal array.
     if base is None:
@@ -346,6 +391,7 @@ def spectrum_cache_seed(
     shape: int | Sequence[int],
     steps: int,
     spectrum: np.ndarray,
+    precision: str = "float64",
 ) -> bool:
     """Warm-start import hook: insert a precomputed temporal spectrum.
 
@@ -353,15 +399,28 @@ def spectrum_cache_seed(
     fused spectrum ``H_L ** steps`` on disk so a fresh worker process can
     skip the FFT derivation entirely.  The entry is validated (geometry,
     finiteness) before landing in the LRU under the usual ``(kernel,
-    shape, steps)`` key.  Returns ``False`` — leaving the cache untouched —
-    when the key is already resident; seed counts are reported by
-    :func:`spectrum_cache_info` (they are neither hits nor misses).
+    shape, steps[, precision])`` key — a seeded entry lands in *its own
+    tier's* slot, so a complex64 payload can never warm-start the
+    complex128 reference tier.  Returns ``False`` — leaving the cache
+    untouched — when the key is already resident; seed counts are reported
+    by :func:`spectrum_cache_info` (they are neither hits nor misses).
     """
     shape = kernel._canonical_shape(shape)
     steps = int(steps)
     if steps < 1:
         raise KernelError(f"temporal fusion needs steps >= 1, got {steps}")
-    spec = np.array(spectrum, dtype=np.complex128)
+    incoming = np.asarray(spectrum)
+    if precision == "float64" and incoming.dtype in (
+        np.dtype(np.complex64),
+        np.dtype(np.float32),
+    ):
+        # Upcasting a rounded single-precision payload would poison the
+        # reference tier with float32-accurate values that *look* double.
+        raise KernelError(
+            "seeded spectrum is single precision "
+            f"({incoming.dtype}); refusing to warm-start the float64 tier"
+        )
+    spec = np.array(incoming, dtype=complex_dtype(precision))
     if spec.shape != shape:
         raise KernelError(
             f"seeded spectrum has shape {spec.shape}, expected {shape}"
@@ -369,7 +428,7 @@ def spectrum_cache_seed(
     if not np.all(np.isfinite(spec)):
         raise KernelError("seeded spectrum contains non-finite values")
     spec.flags.writeable = False
-    key = (kernel, shape, steps)
+    key = _spectrum_key(kernel, shape, steps, precision)
     with _spectrum_cache_lock:
         if key in _spectrum_cache:
             _spectrum_cache.move_to_end(key)

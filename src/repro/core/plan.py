@@ -50,11 +50,13 @@ from ..robustness.faults import PROCESS_KINDS
 from ..robustness.guards import GuardPolicy, check_array
 from .autotune import TunedSegment, choose_segment_length, choose_tile_shape
 from .kernels import StencilKernel, spectrum_cache_info
+from .precision import resolve_precision
 from .reference import Boundary
 from .streamline import StreamlineConfig, StreamlineResult, TCUStencilExecutor
 from .tailoring import SegmentPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..analysis.accuracy import PrecisionRouter
     from ..robustness.config import RobustnessConfig
     from ..robustness.faults import FaultInjector
 
@@ -115,6 +117,7 @@ def plan_key(
     tile: tuple[int, ...] | None,
     backend_name: str,
     workers: int | None,
+    precision: str = "float64",
 ) -> tuple:
     """The canonical plan-cache tuple: everything that shapes a plan.
 
@@ -123,6 +126,8 @@ def plan_key(
     one key definition, two cache tiers.  The FFT backend participates by
     *name* only: every registered backend is numerically interchangeable,
     so two worker configurations of one provider may safely share a plan.
+    ``precision`` is part of the key — a float32 plan carries complex64
+    spectra and float32 workspaces, so the tiers can never share an entry.
     """
     return (
         grid_shape,
@@ -134,6 +139,25 @@ def plan_key(
         tile,
         backend_name,
         workers,
+        precision,
+    )
+
+
+def _cached_plan_variant(plan: "FlashFFTStencil", precision: str) -> "FlashFFTStencil":
+    """The cache-shared sibling of ``plan`` in another precision tier."""
+    if precision == plan.precision:
+        return plan
+    return _cached_plan(
+        plan.grid_shape,
+        plan.kernel,
+        plan.fused_steps,
+        plan.segments.boundary,
+        plan.gpu,
+        plan.config,
+        plan._tile_override,
+        backend=plan._backend,
+        workers=plan._workers_requested,
+        precision=precision,
     )
 
 
@@ -148,8 +172,10 @@ def _cached_plan(
     telemetry: Telemetry = NULL_TELEMETRY,
     backend: "FFTBackend | None" = None,
     workers: int | None = None,
+    precision: str | None = None,
 ) -> "FlashFFTStencil":
     backend = get_backend(backend)
+    precision = resolve_precision(precision)
     key = plan_key(
         grid_shape,
         kernel,
@@ -160,6 +186,7 @@ def _cached_plan(
         tile,
         backend.name,
         workers,
+        precision,
     )
     with _plan_cache_lock:
         plan = _plan_cache.get(key)
@@ -180,6 +207,7 @@ def _cached_plan(
         tile=tile,
         backend=backend,
         workers=workers,
+        precision=precision,
     )
     # Cache-owned plans are shared across callers and must never be
     # mutated (see FlashFFTStencil.apply / run).
@@ -214,15 +242,15 @@ def plan_cache_clear() -> None:
         _plan_cache_stats["misses"] = 0
 
 
-def _as_grid(grid: np.ndarray) -> np.ndarray:
-    """Coerce to C-contiguous float64 without copying when already both."""
+def _as_grid(grid: np.ndarray, dtype=np.float64) -> np.ndarray:
+    """Coerce to a C-contiguous ``dtype`` grid without copying when already both."""
     if (
         isinstance(grid, np.ndarray)
-        and grid.dtype == np.float64
+        and grid.dtype == dtype
         and grid.flags.c_contiguous
     ):
         return grid
-    return np.ascontiguousarray(grid, dtype=np.float64)
+    return np.ascontiguousarray(grid, dtype=dtype)
 
 
 @dataclass(frozen=True)
@@ -285,6 +313,13 @@ class FlashFFTStencil:
         pooled :class:`~repro.parallel.arena.WorkspaceArena`, eliminating
         per-application window/pad allocations.  ``False`` restores the
         allocate-per-call behaviour (benchmark baseline).
+    precision:
+        Execution tier: ``"float64"`` (the bit-exact reference, default)
+        or ``"float32"`` (grids travel as float32, spectra as complex64 —
+        roughly half the memory traffic per fused application, ~``eps32``
+        relative error per application; see TECHNIQUES.md §17).  ``None``
+        consults ``$REPRO_DTYPE`` and defaults to ``"float64"``.  The TCU
+        emulation and the multi-process engine are float64-only.
     """
 
     def __init__(
@@ -299,6 +334,7 @@ class FlashFFTStencil:
         backend: "FFTBackend | str | None" = None,
         workers: int | None = None,
         arena: bool = True,
+        precision: str | None = None,
     ) -> None:
         if isinstance(grid_shape, (int, np.integer)):
             grid_shape = (int(grid_shape),)
@@ -307,6 +343,7 @@ class FlashFFTStencil:
         self.fused_steps = int(fused_steps)
         self.gpu = gpu
         self.config = config
+        self.precision = resolve_precision(precision)
         self.tuned: TunedSegment | None = None
         user_tile = tile
 
@@ -341,7 +378,7 @@ class FlashFFTStencil:
             tuple(tile) if user_tile is not None else None
         )
         self.segments = SegmentPlan(
-            grid_shape, kernel, self.fused_steps, tile, boundary
+            grid_shape, kernel, self.fused_steps, tile, boundary, self.precision
         )
         pfa_split = None
         if self.tuned is not None and self.segments.local_shape == (
@@ -363,6 +400,9 @@ class FlashFFTStencil:
         # ---- scale-out engine (lazy; perf state like the arena pool) --
         self._proc_engine = None
         self._proc_lock = threading.Lock()
+        # ---- precision router (lazy; shared by apply/run/run_many) ----
+        self._router = None
+        self._router_lock = threading.Lock()
 
     # ------------------------------------------------------------ properties
 
@@ -393,6 +433,41 @@ class FlashFFTStencil:
         """The FFT provider every transform of this plan routes through."""
         return self._backend
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Real grid dtype of this plan's precision tier."""
+        return self.segments.dtype
+
+    @property
+    def cdtype(self) -> np.dtype:
+        """Complex spectrum dtype of this plan's precision tier."""
+        return self.segments.cdtype
+
+    def variant(self, precision: str) -> "FlashFFTStencil":
+        """This plan's cache-shared sibling in another precision tier.
+
+        Same geometry, kernel, fusion depth, boundary, backend, and worker
+        setting — only the tier differs.  ``variant(self.precision)``
+        returns ``self``; other tiers come from the module-level plan
+        cache, so repeated routing never rebuilds plans.
+        """
+        return _cached_plan_variant(self, resolve_precision(precision))
+
+    def router(self) -> "PrecisionRouter":
+        """The lazily-built accuracy router shared by ``tolerance=`` calls.
+
+        One router per user-facing plan: it owns the float32/float64
+        variant pair, the calibrated error model, the verification cadence,
+        and the sticky escalation state (see
+        :class:`repro.analysis.accuracy.PrecisionRouter`).
+        """
+        from ..analysis.accuracy import PrecisionRouter
+
+        with self._router_lock:
+            if self._router is None:
+                self._router = PrecisionRouter(self)
+            return self._router
+
     def planning_artifacts(self) -> dict:
         """Export hook for the persistent plan cache: the re-planning work.
 
@@ -409,6 +484,7 @@ class FlashFFTStencil:
             "tile": tuple(self.segments.valid_shape),
             "local_shape": tuple(self.local_shape),
             "steps": int(self.fused_steps),
+            "precision": self.precision,
             "fused_spectrum": np.asarray(self.segments.fused_spectrum()),
         }
 
@@ -455,6 +531,12 @@ class FlashFFTStencil:
     @cached_property
     def executor(self) -> TCUStencilExecutor:
         """Lazily-built TCU execution engine for this plan's window shape."""
+        if self.precision != "float64":
+            raise PlanError(
+                "emulate_tcu requires the float64 tier: the emulated "
+                f"fragment pipeline is double-precision only, plan is "
+                f"{self.precision}"
+            )
         if len(self.local_shape) == 1:
             from .pfa import coprime_splits
 
@@ -479,10 +561,17 @@ class FlashFFTStencil:
         out: np.ndarray | None = None,
         telemetry: Telemetry | None = None,
         robustness: "RobustnessConfig | None" = None,
+        tolerance: float | None = None,
     ) -> np.ndarray:
         """One fused application: advance the grid by ``fused_steps`` steps.
 
-        ``out`` (optional, float64, grid-shaped) receives the result in
+        ``tolerance`` (optional) opts into accuracy-budget routing: the
+        application runs on the cheapest precision tier whose modeled
+        error stays within ``tolerance`` of the float64 reference (see
+        :meth:`router`); incompatible with ``emulate_tcu``/``out``/
+        ``robustness``, which pin the execution path.
+
+        ``out`` (optional, plan dtype, grid-shaped) receives the result in
         place so steady-state loops can ping-pong two buffers with no
         per-step output allocation.  It must not alias ``grid`` under the
         zero boundary, and must not *partially* overlap ``grid`` under any
@@ -496,6 +585,15 @@ class FlashFFTStencil:
         recovery is :meth:`run`-level.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
+        if tolerance is not None:
+            if emulate_tcu or out is not None or robustness is not None:
+                raise PlanError(
+                    "tolerance= routing is incompatible with emulate_tcu, "
+                    "out=, and robustness= (they pin the execution path)"
+                )
+            return self.router().run(
+                grid, self.fused_steps, tolerance, telemetry=tel
+            )
         guards = robustness.guards if robustness is not None else None
         injector = robustness.injector if robustness is not None else None
         out, result = self._apply_impl(
@@ -560,10 +658,14 @@ class FlashFFTStencil:
         honour.  Both paths gather into a pooled workspace arena, making
         the steady state allocation-free outside the FFT transients.
         """
-        grid = _as_grid(grid)
+        grid = _as_grid(grid, self.dtype)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
         if out is not None:
+            if out.dtype != self.dtype:
+                raise PlanError(
+                    f"out dtype {out.dtype} != plan tier dtype {self.dtype}"
+                )
             self._check_out_aliasing(grid, out)
         guarded = guards is not None and guards.enabled
         if injector is not None:
@@ -650,6 +752,7 @@ class FlashFFTStencil:
             telemetry=telemetry,
             backend=self._backend,
             workers=self._workers_requested,
+            precision=self.precision,
         )
 
     def _resolve_resident(self, resident: bool | None, emulate_tcu: bool) -> bool:
@@ -686,14 +789,26 @@ class FlashFFTStencil:
         points = int(np.prod(self.grid_shape))
         tiles = self.segments.num_segments[0]
         if processes is None:
-            if emulate_tcu:
+            if emulate_tcu or self.precision != "float64":
+                # The shared-memory window batch is float64; the env
+                # default degrades reduced-precision plans to the
+                # thread/serial path rather than breaking a fleet switch.
                 return 1
             return choose_processes(points, tiles, None)
+        if self.precision != "float64" and int(processes) == 0:
+            # Explicit autotune: degrade like the env default.
+            return 1
         resolved = choose_processes(points, tiles, int(processes))
         if resolved > 1 and emulate_tcu:
             raise PlanError(
                 "processes > 1 is not supported with emulate_tcu=True: the "
                 "emulated TCU pipeline has no halo-refresh hook"
+            )
+        if resolved > 1 and self.precision != "float64":
+            raise PlanError(
+                "processes > 1 requires the float64 tier: the shared-memory "
+                f"process engine is double-precision only, plan is "
+                f"{self.precision}"
             )
         return resolved
 
@@ -740,7 +855,7 @@ class FlashFFTStencil:
         band.  Sharded plans run the same loop with one pool barrier per
         application (:meth:`ShardedExecutor.run_resident`).
         """
-        grid = _as_grid(grid)
+        grid = _as_grid(grid, self.dtype)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
         if applications < 1:
@@ -800,8 +915,16 @@ class FlashFFTStencil:
         robustness: "RobustnessConfig | None" = None,
         resident: bool | None = None,
         processes: int | None = None,
+        tolerance: float | None = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
+
+        ``tolerance`` (optional) opts into accuracy-budget routing: the run
+        executes on the cheapest precision tier whose modeled end-to-end
+        error stays within ``tolerance`` of the float64 reference, with a
+        cadenced drift probe escalating back to float64 on a breach (see
+        :meth:`router` and TECHNIQUES.md §17).  Incompatible with
+        ``emulate_tcu`` and ``robustness``, which pin the execution path.
 
         A remainder ``total_steps % fused_steps`` is handled by a plan with
         the residual fusion depth — the flexibility §4 argues for — fetched
@@ -848,6 +971,20 @@ class FlashFFTStencil:
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        if tolerance is not None:
+            if emulate_tcu or robustness is not None:
+                raise PlanError(
+                    "tolerance= routing is incompatible with emulate_tcu "
+                    "and robustness= (they pin the execution path)"
+                )
+            return self.router().run(
+                grid,
+                total_steps,
+                tolerance,
+                telemetry=tel,
+                resident=resident,
+                processes=processes,
+            )
         use_resident = self._resolve_resident(resident, emulate_tcu)
         use_procs = self._resolve_processes(processes, emulate_tcu)
         if robustness is not None:
@@ -860,7 +997,7 @@ class FlashFFTStencil:
                 use_resident,
                 use_procs,
             )
-        cur = _as_grid(grid)
+        cur = _as_grid(grid, self.dtype)
         full, rem = divmod(total_steps, self.fused_steps)
         if full == 0 and rem == 0:
             return cur.copy()
@@ -893,8 +1030,8 @@ class FlashFFTStencil:
                 tel.record_cache("spectrum_cache", **spectrum_cache_info())
             return cur
         bufs = (
-            np.empty(self.grid_shape, dtype=np.float64),
-            np.empty(self.grid_shape, dtype=np.float64),
+            np.empty(self.grid_shape, dtype=self.dtype),
+            np.empty(self.grid_shape, dtype=self.dtype),
         )
         which = 0
         for _ in range(full):
@@ -949,6 +1086,7 @@ class FlashFFTStencil:
         telemetry: Telemetry | None = None,
         resident: bool | None = None,
         processes: int | None = None,
+        tolerance: float | None = None,
     ) -> np.ndarray:
         """Advance B independent grids ``total_steps`` steps in batched
         passes (remainder handled by the cached tail plan, as in
@@ -957,9 +1095,10 @@ class FlashFFTStencil:
         full applications (``None`` consults ``$REPRO_RESIDENT``).
         ``processes`` shards the grid axis across worker *processes*
         instead (``None`` consults ``$REPRO_PROCS``; ``0`` autotunes) —
-        see :func:`repro.distributed.engine.run_many_processes`.  Returns
-        a ``(B, *grid_shape)`` stack.  See
-        :func:`repro.parallel.batch.run_many`.
+        see :func:`repro.distributed.engine.run_many_processes`.
+        ``tolerance`` routes the whole batch to the cheapest precision
+        tier meeting the budget (see :meth:`router`).  Returns a ``(B,
+        *grid_shape)`` stack.  See :func:`repro.parallel.batch.run_many`.
         """
         from ..parallel.batch import run_many as _run_many
 
@@ -972,6 +1111,7 @@ class FlashFFTStencil:
             telemetry=telemetry,
             resident=resident,
             processes=processes,
+            tolerance=tolerance,
         )
 
     # -------------------------------------------------- fault-tolerant run
@@ -1123,7 +1263,7 @@ class FlashFFTStencil:
         from ..robustness.sentinel import DriftSentinel
 
         guards = rb.guards
-        cur = _as_grid(grid)
+        cur = _as_grid(grid, self.dtype)
         if guards is not None and guards.enabled and guards.check_inputs:
             cur = check_array(cur, "grid", guards, tel)
             # Each application's input is the previous application's
@@ -1180,8 +1320,8 @@ class FlashFFTStencil:
         start_to_chunk = {c0: idx for idx, (c0, _) in enumerate(chunks)}
 
         bufs = (
-            np.empty(self.grid_shape, dtype=np.float64),
-            np.empty(self.grid_shape, dtype=np.float64),
+            np.empty(self.grid_shape, dtype=self.dtype),
+            np.empty(self.grid_shape, dtype=self.dtype),
         )
         which = 0
         degraded = False
@@ -1291,12 +1431,15 @@ class FlashFFTStencil:
 
         Re-derives every per-application artifact (index meshes, kernel
         spectrum) and uses the complex-FFT fuse and Python-loop stitch —
-        the pre-fast-path behaviour benchmarks compare against.
+        the pre-fast-path behaviour benchmarks compare against.  Always
+        *computes* in float64 (it is the accuracy anchor); on reduced-tier
+        plans the result is rounded once to the plan dtype so robustness
+        fallbacks keep the tier's output contract.
         """
         grid = np.asarray(grid, dtype=np.float64)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
-        return self.segments.run_reference(grid)
+        return self.segments.run_reference(grid).astype(self.dtype, copy=False)
 
     def run_reference(self, grid: np.ndarray, total_steps: int) -> np.ndarray:
         """``run`` on the preserved slow path: no plan cache, no buffer

@@ -1,0 +1,94 @@
+"""Precision tiers: resolve ``precision=`` strings to numpy dtype pairs.
+
+The execution engine runs in one of two tiers.  ``"float64"`` is the
+reference tier — every result the rest of the repo validates against is
+computed here, and its numerics are bit-for-bit identical to the
+pre-precision engine.  ``"float32"`` halves memory traffic through the
+split → FFT → multiply → iFFT → stitch pipeline (real grids travel as
+float32, spectra as complex64) at the cost of ~``eps32`` relative error
+per fused application; :mod:`repro.analysis.accuracy` owns the error
+model that decides when that trade is admissible.
+
+A tier is identified by its *string* name everywhere plans are keyed or
+serialized (cache keys, disk-cache digests, telemetry labels) — numpy
+dtype objects compare equal across aliases and don't round-trip through
+JSON, strings do.  The helpers here are the single point where a string
+becomes a concrete ``np.dtype``.
+
+``REPRO_DTYPE`` selects the session-wide default tier (strict parsing
+via :func:`repro.envutil.env_choice`; unknown values raise
+:class:`~repro.errors.PlanError` naming the variable).  An explicit
+``precision=`` argument always wins over the environment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..envutil import env_choice
+
+__all__ = [
+    "DTYPE_ENV",
+    "PRECISIONS",
+    "resolve_precision",
+    "validate_precision",
+    "real_dtype",
+    "complex_dtype",
+    "precision_eps",
+    "precision_of",
+]
+
+#: Environment variable naming the default precision tier.
+DTYPE_ENV = "REPRO_DTYPE"
+
+#: Recognised tier names, reference tier first.
+PRECISIONS = ("float64", "float32")
+
+_REAL = {"float64": np.dtype(np.float64), "float32": np.dtype(np.float32)}
+_COMPLEX = {"float64": np.dtype(np.complex128), "float32": np.dtype(np.complex64)}
+
+
+def validate_precision(precision: str) -> str:
+    """Return ``precision`` if it names a known tier, else raise ``PlanError``."""
+    from ..errors import PlanError
+
+    if precision not in PRECISIONS:
+        raise PlanError(
+            f"precision must be one of {PRECISIONS}, got {precision!r}"
+        )
+    return precision
+
+
+def resolve_precision(precision: str | None = None) -> str:
+    """Resolve an explicit ``precision=`` argument against ``REPRO_DTYPE``.
+
+    ``None`` defers to the environment (default ``"float64"``); an explicit
+    string is validated and wins unconditionally.
+    """
+    if precision is not None:
+        return validate_precision(str(precision))
+    return env_choice(DTYPE_ENV, PRECISIONS) or "float64"
+
+
+def real_dtype(precision: str) -> np.dtype:
+    """Real grid dtype for a tier (``float64`` → f64, ``float32`` → f32)."""
+    return _REAL[validate_precision(precision)]
+
+
+def complex_dtype(precision: str) -> np.dtype:
+    """Spectrum dtype for a tier (``float64`` → c128, ``float32`` → c64)."""
+    return _COMPLEX[validate_precision(precision)]
+
+
+def precision_eps(precision: str) -> float:
+    """Machine epsilon of the tier's real dtype."""
+    return float(np.finfo(_REAL[validate_precision(precision)]).eps)
+
+
+def precision_of(dtype) -> str | None:
+    """Tier name for a numpy dtype (real or complex), or ``None``."""
+    dt = np.dtype(dtype)
+    for name in PRECISIONS:
+        if dt == _REAL[name] or dt == _COMPLEX[name]:
+            return name
+    return None

@@ -44,6 +44,7 @@ from scipy.fft import next_fast_len
 from ..errors import BoundaryError, KernelError
 from ..parallel.backends import FFTBackend, get_backend
 from .kernels import StencilKernel
+from .precision import real_dtype, resolve_precision
 from .reference import Boundary, run_stencil
 
 __all__ = ["apply_fft_stencil", "fft_stencil_periodic", "fft_stencil_zero"]
@@ -56,14 +57,19 @@ def fft_stencil_periodic(
     *,
     fused: bool = True,
     backend: "FFTBackend | str | None" = None,
+    precision: str | None = None,
 ) -> np.ndarray:
     """FFT stencil on a periodic grid; exact (to FP64) for any ``steps``.
 
     ``backend`` selects the FFT provider (see
     :func:`repro.parallel.backends.get_backend`); the default resolves
-    ``$REPRO_FFT_BACKEND`` and falls back to ``np.fft``.
+    ``$REPRO_FFT_BACKEND`` and falls back to ``np.fft``.  ``precision``
+    selects the execution tier (``None`` consults ``$REPRO_DTYPE``); the
+    float32 tier runs the whole transform pipeline in float32/complex64
+    against the per-tier cached spectrum.
     """
-    grid = np.asarray(grid, dtype=np.float64)
+    prec = resolve_precision(precision)
+    grid = np.asarray(grid, dtype=real_dtype(prec))
     if grid.ndim != kernel.ndim:
         raise KernelError(
             f"grid is {grid.ndim}-D but kernel {kernel.name!r} is {kernel.ndim}-D"
@@ -76,10 +82,18 @@ def fft_stencil_periodic(
     # Real input: run the transform as rfftn/irfftn against the half
     # spectrum — half the FFT flops, identical numbers to ~1e-15.
     half = grid.shape[-1] // 2 + 1
-    spec = kernel.spectrum(grid.shape)[..., :half]
     axes = tuple(range(grid.ndim))
     if fused:
-        return be.irfftn(be.rfftn(grid, axes) * spec**steps, grid.shape, axes)
+        if prec == "float64":
+            spec = kernel.spectrum(grid.shape)[..., :half]
+            return be.irfftn(
+                be.rfftn(grid, axes) * spec**steps, grid.shape, axes
+            )
+        # Reduced tier: H**steps is powered in complex128 and rounded once
+        # by the per-tier spectrum cache, not exponentiated in complex64.
+        spec = kernel.temporal_spectrum(grid.shape, steps, prec)[..., :half]
+        return be.irfftn(be.rfftn(grid, axes) * spec, grid.shape, axes)
+    spec = kernel.spectrum(grid.shape, prec)[..., :half]
     out = grid
     for _ in range(steps):
         out = be.irfftn(be.rfftn(out, axes) * spec, grid.shape, axes)
@@ -91,6 +105,7 @@ def _linear_convolve_fused(
     kernel: StencilKernel,
     steps: int,
     backend: "FFTBackend | None" = None,
+    precision: str = "float64",
 ) -> np.ndarray:
     """Free-space ``steps``-fold evolution restricted back to the grid.
 
@@ -105,7 +120,10 @@ def _linear_convolve_fused(
         next_fast_len(s + 2 * b) for s, b in zip(grid.shape, band)
     )
     half = conv_shape[-1] // 2 + 1
-    spec = kernel.spectrum(conv_shape)[..., :half] ** steps
+    if precision == "float64":
+        spec = kernel.spectrum(conv_shape)[..., :half] ** steps
+    else:
+        spec = kernel.temporal_spectrum(conv_shape, steps, precision)[..., :half]
     axes = tuple(range(grid.ndim))
     out = be.irfftn(
         be.rfftn(grid, axes, s=conv_shape) * spec, conv_shape, axes
@@ -123,6 +141,7 @@ def fft_stencil_zero(
     kernel: StencilKernel,
     steps: int = 1,
     backend: "FFTBackend | str | None" = None,
+    precision: str | None = None,
 ) -> np.ndarray:
     """FFT stencil with zero (Dirichlet-0 reads) boundaries, exact everywhere.
 
@@ -131,7 +150,8 @@ def fft_stencil_zero(
     docstring; if the grid is too small for a meaningful interior the whole
     grid is evolved sequentially instead.
     """
-    grid = np.asarray(grid, dtype=np.float64)
+    prec = resolve_precision(precision)
+    grid = np.asarray(grid, dtype=real_dtype(prec))
     if grid.ndim != kernel.ndim:
         raise KernelError(
             f"grid is {grid.ndim}-D but kernel {kernel.name!r} is {kernel.ndim}-D"
@@ -142,16 +162,19 @@ def fft_stencil_zero(
         return grid.copy()
     be = get_backend(backend)
     if steps == 1:
-        return _linear_convolve_fused(grid, kernel, 1, be)
+        return _linear_convolve_fused(grid, kernel, 1, be, prec)
 
     r = kernel.radius
     band = tuple(steps * ri for ri in r)
     slab = tuple(2 * b for b in band)
     if any(2 * sl >= s for sl, s in zip(slab, grid.shape)):
-        # No interior worth fusing — sequential evolution is exact and cheap.
-        return run_stencil(grid, kernel, steps, boundary="zero")
+        # No interior worth fusing — sequential evolution is exact and
+        # cheap; the reference computes in float64, rounded to the tier.
+        return run_stencil(grid, kernel, steps, boundary="zero").astype(
+            real_dtype(prec), copy=False
+        )
 
-    out = _linear_convolve_fused(grid, kernel, steps, be)
+    out = _linear_convolve_fused(grid, kernel, steps, be, prec)
     # Exact boundary bands: evolve a slab of width 2*T*r per face.  The
     # outer T*r of the evolved slab is exact (its dependence cone never
     # leaves the slab); the inner T*r is discarded.
@@ -184,15 +207,23 @@ def apply_fft_stencil(
     *,
     fused: bool = True,
     backend: "FFTBackend | str | None" = None,
+    precision: str | None = None,
 ) -> np.ndarray:
     """Dispatch to the periodic or zero-boundary FFT stencil engine."""
     if boundary == "periodic":
-        return fft_stencil_periodic(grid, kernel, steps, fused=fused, backend=backend)
+        return fft_stencil_periodic(
+            grid, kernel, steps, fused=fused, backend=backend,
+            precision=precision,
+        )
     if boundary == "zero":
         if not fused and steps > 1:
-            out = np.asarray(grid, dtype=np.float64)
+            out = np.asarray(grid, dtype=real_dtype(resolve_precision(precision)))
             for _ in range(steps):
-                out = fft_stencil_zero(out, kernel, 1, backend=backend)
+                out = fft_stencil_zero(
+                    out, kernel, 1, backend=backend, precision=precision
+                )
             return out
-        return fft_stencil_zero(grid, kernel, steps, backend=backend)
+        return fft_stencil_zero(
+            grid, kernel, steps, backend=backend, precision=precision
+        )
     raise BoundaryError(f"unsupported boundary {boundary!r}")

@@ -42,6 +42,7 @@ from ..errors import PlanError
 from ..observability import NULL_TELEMETRY, Telemetry
 from ..robustness.guards import GuardPolicy, check_array
 from .kernels import StencilKernel, compute_spectrum
+from .precision import complex_dtype, real_dtype, validate_precision
 from .reference import Boundary, run_stencil
 
 __all__ = ["HaloExchangePlan", "SegmentPlan", "tailored_fft_stencil"]
@@ -66,6 +67,11 @@ class SegmentPlan:
     boundary:
         ``"periodic"`` (exact) or ``"zero"`` (exact: free evolution inside,
         boundary band of width ``steps*radius`` recomputed sequentially).
+    precision:
+        Execution tier — ``"float64"`` (reference, the default) or
+        ``"float32"`` (grids travel as float32, spectra as complex64).
+        Stored as a string so the frozen plan stays hashable and cache
+        keys/serialised artifacts carry the tier by name.
     """
 
     grid_shape: tuple[int, ...]
@@ -73,12 +79,14 @@ class SegmentPlan:
     steps: int
     valid_shape: tuple[int, ...]
     boundary: Boundary = "periodic"
+    precision: str = "float64"
 
     def __post_init__(self) -> None:
         gs = tuple(int(s) for s in self.grid_shape)
         vs = tuple(int(s) for s in self.valid_shape)
         object.__setattr__(self, "grid_shape", gs)
         object.__setattr__(self, "valid_shape", vs)
+        validate_precision(self.precision)
         if self.steps < 1:
             raise PlanError(f"steps must be >= 1, got {self.steps}")
         if len(gs) != self.kernel.ndim or len(vs) != self.kernel.ndim:
@@ -93,6 +101,16 @@ class SegmentPlan:
             raise PlanError(f"unsupported boundary {self.boundary!r}")
 
     # -------------------------------------------------------------- geometry
+
+    @cached_property
+    def dtype(self) -> np.dtype:
+        """Real grid/window dtype of this plan's tier."""
+        return real_dtype(self.precision)
+
+    @cached_property
+    def cdtype(self) -> np.dtype:
+        """Complex spectrum dtype of this plan's tier."""
+        return complex_dtype(self.precision)
 
     @cached_property
     def halo(self) -> tuple[int, ...]:
@@ -261,15 +279,21 @@ class SegmentPlan:
         boundary only) is a reusable padded-source buffer — together they
         make the steady-state split allocation-free.
         """
-        grid = np.asarray(grid, dtype=np.float64)
+        grid = np.asarray(grid, dtype=self.dtype)
         if grid.shape != self.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {self.grid_shape}")
         src = self.window_source(grid, out=scratch)
         return np.take(src.reshape(-1), self._gather_flat, out=out)
 
     def fused_spectrum(self) -> np.ndarray:
-        """The window-local fused kernel spectrum ``H_L ** steps`` (cached)."""
-        return self.kernel.temporal_spectrum(self.local_shape, self.steps)
+        """The window-local fused kernel spectrum ``H_L ** steps`` (cached).
+
+        Returned in the plan tier's complex dtype (complex128 for float64,
+        complex64 for float32) so the spectral multiply never upcasts.
+        """
+        return self.kernel.temporal_spectrum(
+            self.local_shape, self.steps, self.precision
+        )
 
     def fuse(
         self,
@@ -314,13 +338,18 @@ class SegmentPlan:
         index set — no Python loop over tiles; ``out`` (when given) is
         filled in place so steady-state callers can ping-pong buffers.
         """
-        flat = np.ascontiguousarray(fused, dtype=np.float64).reshape(-1)
+        flat = np.ascontiguousarray(fused, dtype=self.dtype).reshape(-1)
         if out is None:
-            out = np.empty(self.grid_shape, dtype=np.float64)
+            out = np.empty(self.grid_shape, dtype=self.dtype)
+        elif out.dtype != self.dtype:
+            # np.take(out=) would raise an opaque TypeError; name the tier.
+            raise PlanError(
+                f"stitch out dtype {out.dtype} != plan tier dtype {self.dtype}"
+            )
         elif np.shares_memory(flat, out):
             # `flat` is a view of `fused` whenever `fused` is already
-            # contiguous float64 — writing `out` would corrupt the source
-            # mid-gather.
+            # contiguous in the plan dtype — writing `out` would corrupt
+            # the source mid-gather.
             raise PlanError("stitch out must not alias the fused windows")
         return np.take(flat, self._stitch_flat, out=out)
 
@@ -343,7 +372,7 @@ class SegmentPlan:
         guarded = guards is not None and guards.enabled
         if guarded and guards.check_inputs:
             grid = check_array(
-                np.asarray(grid, dtype=np.float64), "grid", guards, tel
+                np.asarray(grid, dtype=self.dtype), "grid", guards, tel
             )
         with tel.span("split"):
             windows = self.split(grid)
@@ -358,7 +387,7 @@ class SegmentPlan:
         if self.boundary == "zero" and self.steps > 1:
             with tel.span("boundary_fix"):
                 out = self.fix_zero_boundary_band(
-                    np.asarray(grid, dtype=np.float64), out
+                    np.asarray(grid, dtype=self.dtype), out
                 )
         if guarded and guards.check_outputs:
             out = check_array(out, "output", guards, tel)

@@ -11,13 +11,16 @@
 * ``distributed`` — the process-parallel scale-out engine: measured
   cross-rank exchange time per application vs the ``HOST_SHM`` cost-model
   prediction, with bit-identity asserted on every row.
+* ``precision`` — the mixed-precision tier: measured float32-vs-float64
+  drift per heat case against the router's modeled bound, plus the tier
+  each declared tolerance routes to (TECHNIQUES.md §17).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..analysis.accuracy import fusion_error_sweep
+from ..analysis.accuracy import PrecisionErrorModel, fusion_error_sweep
 from ..core.kernels import heat_1d, heat_2d, heat_3d
 from ..core.plan import FlashFFTStencil
 from ..core.reference import run_stencil
@@ -33,7 +36,7 @@ from ..observability import Telemetry
 from ..workloads.generators import random_field
 from ._fmt import header, table
 
-__all__ = ["scaling", "accuracy", "distributed", "resident"]
+__all__ = ["scaling", "accuracy", "distributed", "precision", "resident"]
 
 
 def scaling() -> str:
@@ -96,6 +99,58 @@ def accuracy() -> str:
         header("Extension: temporal-fusion accuracy (fused vs sequential)")
         + "\n"
         + table(rows, ["kernel", "fused", "total steps", "max rel err", "spectral radius"])
+        + note
+    )
+
+
+def precision() -> str:
+    """Mixed-precision tier study: measured drift vs the routing model.
+
+    For each heat case the float32 tier's normalized drift from the
+    float64 reference is measured after a multi-application run and set
+    against :class:`~repro.analysis.accuracy.PrecisionErrorModel`'s
+    prediction (the bound the tolerance router trusts); the last column
+    shows which tier a sweep of declared budgets actually routes to.
+    """
+    from ..robustness.sentinel import normalized_drift
+
+    cases = (
+        ("Heat-1D", (4096,), heat_1d, 8),
+        ("Heat-2D", (128, 128), heat_2d, 4),
+        ("Heat-3D", (32, 32, 32), heat_3d, 2),
+    )
+    steps_mult = 4
+    rows = []
+    for name, shape, kf, fused in cases:
+        plan = FlashFFTStencil(shape, kf(), fused_steps=fused)
+        total = fused * steps_mult
+        grid = random_field(shape, seed=7)
+        ref = plan.run(grid, total)
+        got = plan.variant("float32").run(grid.astype(np.float32), total)
+        drift = normalized_drift(got, ref)
+        bound = PrecisionErrorModel(plan).predicted(total)
+        assert drift <= bound
+        routes = "/".join(
+            "f32" if plan.router().route(total, t) == "float32" else "f64"
+            for t in (1e-3, 1e-6, 1e-13)
+        )
+        rows.append(
+            [
+                name,
+                str(total),
+                f"{drift:.2e}",
+                f"{bound:.2e}",
+                routes,
+            ]
+        )
+    note = (
+        "\nroutes column: tier chosen for tolerance 1e-3 / 1e-6 / 1e-13;"
+        "\nmeasured drift <= modeled bound asserted on every row."
+    )
+    return (
+        header("Extension: mixed-precision tier (float32 drift vs routed bound)")
+        + "\n"
+        + table(rows, ["case", "steps", "drift", "modeled bound", "routes"])
         + note
     )
 

@@ -16,7 +16,7 @@ import argparse
 import sys
 from typing import Callable
 
-from .extensions import accuracy, distributed, resident, scaling
+from .extensions import accuracy, distributed, precision, resident, scaling
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
 from .robustness import robustness
@@ -41,6 +41,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "accuracy": accuracy,
     "resident": resident,
     "distributed": distributed,
+    "precision": precision,
     "robustness": robustness,
     "telemetry": telemetry,
     "validate": validate,

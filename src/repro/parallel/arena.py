@@ -48,6 +48,7 @@ class WorkspaceArena:
         "windows",
         "padded",
         "batch",
+        "dtype",
         "_geometry",
         "_resident",
         "_halo_scratch",
@@ -57,30 +58,36 @@ class WorkspaceArena:
         if batch < 1:
             raise ValueError(f"batch must be >= 1, got {batch}")
         self.batch = int(batch)
+        self.dtype = segments.dtype
         # Resident-iteration buffers: allocated lazily on first use, so
         # plans that never run resident pay nothing.
         self._resident: np.ndarray | None = None
         self._halo_scratch: np.ndarray | None = None
+        # dtype is part of the pool identity: a float32 plan must never be
+        # handed a float64 buffer back (np.take(out=) would reject it; a
+        # silent match would double its memory traffic), nor vice versa.
         self._geometry = (
             segments.grid_shape,
             segments.local_shape,
             segments.boundary,
+            self.dtype,
         )
         rows = self.batch * segments.total_segments
-        self.windows = np.empty((rows,) + segments.local_shape, dtype=np.float64)
+        self.windows = np.empty((rows,) + segments.local_shape, dtype=self.dtype)
         if segments.boundary == "zero":
             # Zeroed once; split only rewrites the interior, so the border
             # stays zero for the lifetime of the arena.
-            self.padded = np.zeros(segments._source_shape, dtype=np.float64)
+            self.padded = np.zeros(segments._source_shape, dtype=self.dtype)
         else:
             self.padded = None
 
     def fits(self, segments: "SegmentPlan", batch: int = 1) -> bool:
-        """Whether this arena was built for exactly this geometry/batch."""
+        """Whether this arena was built for exactly this geometry/batch/dtype."""
         return self.batch == batch and self._geometry == (
             segments.grid_shape,
             segments.local_shape,
             segments.boundary,
+            segments.dtype,
         )
 
     def window_rows(self, start: int, stop: int) -> np.ndarray:
@@ -98,10 +105,10 @@ class WorkspaceArena:
         return self._resident
 
     def halo_scratch(self, size: int) -> np.ndarray:
-        """A reusable 1-D float64 buffer of at least ``size`` elements —
+        """A reusable 1-D plan-dtype buffer of at least ``size`` elements —
         the gather-strategy exchange's halo staging area."""
         if self._halo_scratch is None or self._halo_scratch.size < size:
-            self._halo_scratch = np.empty(int(size), dtype=np.float64)
+            self._halo_scratch = np.empty(int(size), dtype=self.dtype)
         return self._halo_scratch
 
     def nbytes(self) -> int:

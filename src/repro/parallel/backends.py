@@ -38,6 +38,7 @@ __all__ = [
     "ScipyFFTBackend",
     "available_backends",
     "get_backend",
+    "match_precision",
     "register_backend",
 ]
 
@@ -52,6 +53,14 @@ class FFTBackend:
     implementations must be thread-safe (the sharded executor calls them
     concurrently from worker threads) and must treat each batch row as an
     independent transform so sharding along the batch axis is bit-exact.
+
+    **Precision contract**: transforms are planned in the input's
+    precision tier — float32/complex64 in stays float32/complex64 out
+    (the mixed-precision engine feeds tier-typed windows and spectra and
+    relies on the transform not upcasting them back to double).  Both
+    shipped pocketfft providers honour this natively;
+    :func:`match_precision` is the one-line guard a wrapper around an
+    upcasting third-party provider should apply to its results.
     """
 
     #: Registry key and the name recorded in telemetry / benchmark reports.
@@ -80,22 +89,39 @@ class FFTBackend:
         return f"{type(self).__name__}(name={self.name!r})"
 
 
+def match_precision(out: np.ndarray, a: np.ndarray, real: bool) -> np.ndarray:
+    """Hold a transform result to the input's precision tier.
+
+    ``real`` says whether the transform's output domain is real
+    (``irfftn``) or complex (everything else).  pocketfft on NumPy >= 2.0
+    and SciPy already preserves single precision, so for the shipped
+    backends this is a dtype check and nothing more; a provider that
+    upcasts single-precision input to double is rounded back here so the
+    engine's tier contract holds regardless of the provider.
+    """
+    if a.dtype == np.float32 or a.dtype == np.complex64:
+        want = np.float32 if real else np.complex64
+        if out.dtype != want:
+            return out.astype(want)
+    return out
+
+
 class NumpyFFTBackend(FFTBackend):
     """The default ``np.fft`` backend — the bit-exact reference provider."""
 
     name = "numpy"
 
     def rfftn(self, a, axes, s=None):
-        return np.fft.rfftn(a, s=s, axes=axes)
+        return match_precision(np.fft.rfftn(a, s=s, axes=axes), a, real=False)
 
     def irfftn(self, a, s, axes):
-        return np.fft.irfftn(a, s=s, axes=axes)
+        return match_precision(np.fft.irfftn(a, s=s, axes=axes), a, real=True)
 
     def fftn(self, a, axes):
-        return np.fft.fftn(a, axes=axes)
+        return match_precision(np.fft.fftn(a, axes=axes), a, real=False)
 
     def ifftn(self, a, axes):
-        return np.fft.ifftn(a, axes=axes)
+        return match_precision(np.fft.ifftn(a, axes=axes), a, real=False)
 
 
 class ScipyFFTBackend(FFTBackend):
@@ -116,16 +142,28 @@ class ScipyFFTBackend(FFTBackend):
         self.workers = workers
 
     def rfftn(self, a, axes, s=None):
-        return self._fft.rfftn(a, s=s, axes=axes, workers=self.workers)
+        return match_precision(
+            self._fft.rfftn(a, s=s, axes=axes, workers=self.workers),
+            a,
+            real=False,
+        )
 
     def irfftn(self, a, s, axes):
-        return self._fft.irfftn(a, s=s, axes=axes, workers=self.workers)
+        return match_precision(
+            self._fft.irfftn(a, s=s, axes=axes, workers=self.workers),
+            a,
+            real=True,
+        )
 
     def fftn(self, a, axes):
-        return self._fft.fftn(a, axes=axes, workers=self.workers)
+        return match_precision(
+            self._fft.fftn(a, axes=axes, workers=self.workers), a, real=False
+        )
 
     def ifftn(self, a, axes):
-        return self._fft.ifftn(a, axes=axes, workers=self.workers)
+        return match_precision(
+            self._fft.ifftn(a, axes=axes, workers=self.workers), a, real=False
+        )
 
 
 # -------------------------------------------------------------- registry

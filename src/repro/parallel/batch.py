@@ -61,7 +61,10 @@ def _as_grid_list(
         raise PlanError("apply_many/run_many need at least one grid")
     out = []
     for b, g in enumerate(seq):
-        g = np.ascontiguousarray(g, dtype=np.float64)
+        # Coerce to the plan tier's dtype: a float32 plan keeps float32
+        # inputs single precision end to end (no silent upcast), a float64
+        # plan coerces exactly as before.
+        g = np.ascontiguousarray(g, dtype=plan.dtype)
         if g.shape != plan.grid_shape:
             raise PlanError(
                 f"grid {b} has shape {g.shape} != plan {plan.grid_shape}"
@@ -87,7 +90,7 @@ def _fuse_batch_packed(plan: "FlashFFTStencil", windows: np.ndarray, batch: int)
     zf = backend.fftn(z, axes)
     zf *= seg.fused_spectrum()
     filtered = backend.ifftn(zf, axes).reshape((pairs, s) + local)
-    fused = np.empty((batch, s) + local, dtype=np.float64)
+    fused = np.empty((batch, s) + local, dtype=plan.dtype)
     fused[0 : 2 * pairs : 2] = filtered.real
     fused[1 : 2 * pairs : 2] = filtered.imag
     if batch % 2:
@@ -118,11 +121,11 @@ def apply_many(
     s = seg.total_segments
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
     if out is None:
-        out = np.empty((batch,) + plan.grid_shape, dtype=np.float64)
+        out = np.empty((batch,) + plan.grid_shape, dtype=plan.dtype)
     else:
-        if out.shape != (batch,) + plan.grid_shape or out.dtype != np.float64:
+        if out.shape != (batch,) + plan.grid_shape or out.dtype != plan.dtype:
             raise PlanError(
-                f"out must be float64 {(batch,) + plan.grid_shape}, "
+                f"out must be {plan.dtype} {(batch,) + plan.grid_shape}, "
                 f"got {out.dtype} {out.shape}"
             )
         for b, g in enumerate(gs):
@@ -135,7 +138,7 @@ def apply_many(
     windows = (
         arena.windows
         if arena is not None
-        else np.empty((batch * s,) + seg.local_shape, dtype=np.float64)
+        else np.empty((batch * s,) + seg.local_shape, dtype=plan.dtype)
     )
     scratch = arena.padded if arena is not None else None
     with tel.span("split"):
@@ -216,7 +219,7 @@ def _run_many_resident(
             if tel.enabled:
                 tel.count("hbm_round_trips_saved", 1)
         cur = fused
-    out = np.empty((batch,) + plan.grid_shape, dtype=np.float64)
+    out = np.empty((batch,) + plan.grid_shape, dtype=plan.dtype)
     with tel.span("stitch"):
         for b in range(batch):
             slab = cur[b * s : (b + 1) * s]
@@ -249,8 +252,8 @@ def _run_many_chunk(
         return _run_many_resident(plan, gs, full, rem, double_layer, tel)
     arena = WorkspaceArena(plan.segments, batch=batch)
     bufs = (
-        np.empty((batch,) + plan.grid_shape, dtype=np.float64),
-        np.empty((batch,) + plan.grid_shape, dtype=np.float64),
+        np.empty((batch,) + plan.grid_shape, dtype=plan.dtype),
+        np.empty((batch,) + plan.grid_shape, dtype=plan.dtype),
     )
     which = 0
     cur: "list[np.ndarray] | np.ndarray" = gs
@@ -287,8 +290,15 @@ def run_many(
     resident: bool | None = None,
     processes: int | None = None,
     injector=None,
+    tolerance: float | None = None,
 ) -> np.ndarray:
     """Advance B independent grids by ``total_steps`` in batched passes.
+
+    ``tolerance`` opts the whole batch into accuracy-budget routing: the
+    batch executes on the cheapest precision tier whose modeled error
+    meets the budget, with a cadenced drift probe on one batch row
+    escalating back to float64 on a breach (see
+    :class:`repro.analysis.accuracy.PrecisionRouter`).
 
     Equivalent to ``np.stack([plan.run(g, total_steps) for g in grids])``
     — bit-identically on the default real path — but amortising per-call
@@ -306,17 +316,39 @@ def run_many(
     """
     if total_steps < 0:
         raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if tolerance is not None:
+        return plan.router().run_many(
+            grids,
+            total_steps,
+            tolerance,
+            telemetry=tel,
+            double_layer=double_layer,
+            workers=workers,
+            resident=resident,
+        )
     if resident is None:
         from ..core.plan import resident_default
 
         resident = resident_default()
     gs = _as_grid_list(plan, grids)
     batch = len(gs)
-    tel = telemetry if telemetry is not None else NULL_TELEMETRY
     from ..distributed.engine import choose_processes
 
     points = int(np.prod(plan.grid_shape))
-    procs = choose_processes(batch * points, batch, processes)
+    if plan.precision != "float64":
+        # The shared-memory process engine is float64-only; explicit
+        # multi-process requests fail loudly, autotune/env degrade to the
+        # thread-sharded path (same policy as FlashFFTStencil.run).
+        if processes is not None and int(processes) > 1:
+            raise PlanError(
+                "processes > 1 requires the float64 tier: the shared-memory "
+                f"process engine is double-precision only, plan is "
+                f"{plan.precision}"
+            )
+        procs = 1
+    else:
+        procs = choose_processes(batch * points, batch, processes)
     if procs > 1 and not double_layer:
         from ..distributed.engine import run_many_processes
 
@@ -345,7 +377,7 @@ def run_many(
         )
         return chunk, res, wtel
 
-    out = np.empty((batch,) + plan.grid_shape, dtype=np.float64)
+    out = np.empty((batch,) + plan.grid_shape, dtype=plan.dtype)
     for chunk, res, wtel in _pool(len(chunks)).map(serve, chunks):
         out[chunk[0] : chunk[-1] + 1] = res
         if enabled:

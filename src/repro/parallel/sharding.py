@@ -200,7 +200,7 @@ class ShardedExecutor:
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         seg = self.segments
-        grid = np.asarray(grid, dtype=np.float64)
+        grid = np.asarray(grid, dtype=seg.dtype)
         if grid.shape != seg.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {seg.grid_shape}")
         if arena is not None and not arena.fits(seg):
@@ -209,7 +209,7 @@ class ShardedExecutor:
         src = seg.window_source(grid, out=scratch)
         src_flat = src.reshape(-1)
         if out is None:
-            out = np.empty(seg.grid_shape, dtype=np.float64)
+            out = np.empty(seg.grid_shape, dtype=seg.dtype)
         elif np.shares_memory(src, out):
             # Shards interleave gather reads and slab writes, so the
             # serial path's consume-then-write ordering guarantee is gone:
@@ -262,7 +262,7 @@ class ShardedExecutor:
         seg = self.segments
         if applications < 1:
             raise PlanError(f"applications must be >= 1, got {applications}")
-        grid = np.asarray(grid, dtype=np.float64)
+        grid = np.asarray(grid, dtype=seg.dtype)
         if grid.shape != seg.grid_shape:
             raise PlanError(f"grid shape {grid.shape} != plan {seg.grid_shape}")
         if arena is not None and not arena.fits(seg):
@@ -271,7 +271,7 @@ class ShardedExecutor:
         src = seg.window_source(grid, out=scratch)
         src_flat = src.reshape(-1)
         if out is None:
-            out = np.empty(seg.grid_shape, dtype=np.float64)
+            out = np.empty(seg.grid_shape, dtype=seg.dtype)
         elif np.shares_memory(src, out):
             raise PlanError("sharded run_resident: out must not alias the grid")
         if arena is not None:
@@ -279,8 +279,8 @@ class ShardedExecutor:
             nxt = arena.resident_windows()
         else:
             shape = (seg.total_segments,) + seg.local_shape
-            cur = np.empty(shape, dtype=np.float64)
-            nxt = np.empty(shape, dtype=np.float64)
+            cur = np.empty(shape, dtype=seg.dtype)
+            nxt = np.empty(shape, dtype=seg.dtype)
         ex = seg.exchange_plan()
         halo_buf = (
             arena.halo_scratch(ex.stale_points)

@@ -28,7 +28,7 @@ import numpy as np
 
 from ..errors import PlanError
 
-__all__ = ["SentinelConfig", "DriftSentinel"]
+__all__ = ["SentinelConfig", "DriftSentinel", "normalized_drift"]
 
 
 @dataclass(frozen=True)
@@ -99,7 +99,7 @@ class DriftSentinel:
         if any(w - 2 * h < 1 for w, h in zip(win_shape, halo)):
             # Degenerate geometry (halo spans the grid): probe everything.
             ref = run_stencil(before, kernel, steps, boundary=boundary)
-            return _normalized_drift(after, ref)
+            return normalized_drift(after, ref)
 
         anchor = self.config.anchor or (0,) * before.ndim
         starts = tuple(
@@ -119,9 +119,20 @@ class DriftSentinel:
                 for s, h, w in zip(starts, halo, win_shape)
             )
         ]
-        return _normalized_drift(got, ref[interior])
+        return normalized_drift(got, ref[interior])
 
 
-def _normalized_drift(got: np.ndarray, ref: np.ndarray) -> float:
-    scale = max(1.0, float(np.max(np.abs(ref))))
-    return float(np.max(np.abs(got - ref))) / scale
+def normalized_drift(got: np.ndarray, ref: np.ndarray) -> float:
+    """Max-abs deviation of ``got`` from ``ref``, normalized by ref scale.
+
+    The shared breach metric: the sentinel's probe comparison and the
+    precision router's float64 spot checks both score against this, so a
+    ``tolerance=`` passed to either means the same thing.
+    """
+    scale = max(1.0, float(np.max(np.abs(np.asarray(ref, dtype=np.float64)))))
+    diff = np.asarray(got, dtype=np.float64) - np.asarray(ref, dtype=np.float64)
+    return float(np.max(np.abs(diff))) / scale
+
+
+#: Backwards-compatible private alias (pre-mixed-precision name).
+_normalized_drift = normalized_drift

@@ -63,17 +63,21 @@ class AdmissionController:
         steps: int,
         grid_shape: tuple[int, ...],
         max_steps: int | None = None,
+        dtype=np.float64,
+        tolerance: float | None = None,
     ) -> np.ndarray:
         """Reject a malformed request before it can poison a batch.
 
-        Returns the grid as a float64 array (the same conversion the
-        execution path would do, so validation sees what execution sees).
-        NaN/inf grids are the canonical poison: stacked into a batch they
-        fail *every* co-batched tenant's FFT, so they are cheapest to
-        refuse at the front door.
+        Returns the grid as an array of ``dtype`` (the serving plan's tier
+        dtype — the same conversion the execution path would do, so
+        validation sees what execution sees).  NaN/inf grids are the
+        canonical poison: stacked into a batch they fail *every*
+        co-batched tenant's FFT, so they are cheapest to refuse at the
+        front door.  ``tolerance`` (an accuracy budget for precision
+        routing) must be a positive finite number when given.
         """
         try:
-            arr = np.asarray(grid, dtype=np.float64)
+            arr = np.asarray(grid, dtype=dtype)
         except (TypeError, ValueError):
             self._invalid(f"grid is not numeric ({type(grid).__name__})")
         if arr.shape != tuple(grid_shape):
@@ -85,6 +89,12 @@ class AdmissionController:
         if max_steps is not None and steps > max_steps:
             self._invalid(
                 f"steps {steps} exceeds the configured ceiling {max_steps}"
+            )
+        if tolerance is not None and not (
+            float(tolerance) > 0 and np.isfinite(tolerance)
+        ):
+            self._invalid(
+                f"tolerance must be a positive finite number, got {tolerance}"
             )
         if not np.isfinite(arr).all():
             self._invalid("grid contains non-finite values (NaN or inf)")

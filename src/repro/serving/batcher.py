@@ -17,12 +17,21 @@ latency.  :class:`StencilServer` walks the line explicitly:
   sizes the batch so expected service stays within ``service_fraction``
   of the deadline (big batches when grids are cheap, small when they are
   expensive);
-* collected requests are grouped by ``steps`` and executed through
-  :func:`~repro.parallel.batch.serve_batch` in a thread-pool executor, so
-  the event loop keeps accepting submissions mid-batch.
+* collected requests are grouped by ``(steps, precision)`` and executed
+  through :func:`~repro.parallel.batch.serve_batch` in a thread-pool
+  executor, so the event loop keeps accepting submissions mid-batch.
+  ``submit(..., tolerance=...)`` opts a request into accuracy-budget
+  routing: the plan's :class:`~repro.analysis.accuracy.PrecisionRouter`
+  picks the cheapest precision tier predicted to meet the budget, routed
+  groups are spot-checked against the float64 reference on the router's
+  sentinel cadence, and a breach sticky-escalates the whole server to
+  float64 — a batch never mixes tiers, so co-batched exact requests stay
+  bit-identical.
 
 Batched execution is numerically exact: responses are bit-identical to a
-per-request ``plan.run`` loop (grids are stacked, never mixed).
+per-request ``plan.run`` loop (grids are stacked, never mixed); routed
+float32 responses are returned in the plan's dtype (float64 by default)
+and are within the declared tolerance of the float64 reference.
 
 **Failure isolation.**  Co-batching must not create shared fate: one bad
 request (or one crashed worker) failing every co-batched tenant would
@@ -193,6 +202,11 @@ class _Request:
     tenant: str
     future: "asyncio.Future[np.ndarray]"
     cost: float
+    #: Accuracy budget (None: exact — the plan's own tier).
+    tolerance: float | None = None
+    #: Tier the router picked at admission; the co-batching group key is
+    #: ``(steps, precision)`` so a batch never mixes precisions.
+    precision: str = "float64"
     t_submit: float = field(default_factory=time.perf_counter)
 
 
@@ -299,7 +313,11 @@ class StencilServer:
     # ----------------------------------------------------------------- submit
 
     def submit_nowait(
-        self, grid: np.ndarray, steps: int, tenant: str = "default"
+        self,
+        grid: np.ndarray,
+        steps: int,
+        tenant: str = "default",
+        tolerance: float | None = None,
     ) -> "asyncio.Future[np.ndarray]":
         """Enqueue one request; return the result future without awaiting.
 
@@ -309,16 +327,35 @@ class StencilServer:
         silent queue growth.  Must be called on the server's event loop;
         gathering these raw futures skips the per-request task wrap of
         ``gather(submit(...))``, which matters at high request rates.
+
+        ``tolerance`` opts the request into precision routing: the tier is
+        chosen here, at admission, so the batch loop can co-schedule
+        same-tier requests (the group key is ``(steps, precision)``).
         """
         if not self._running or self._draining:
             raise ServingError("server is not accepting requests")
         cfg = self.config
         if cfg.validate_requests:
             grid = self._admission.validate(
-                grid, steps, self.plan.grid_shape, cfg.max_steps
+                grid,
+                steps,
+                self.plan.grid_shape,
+                cfg.max_steps,
+                dtype=self.plan.dtype,
+                tolerance=tolerance,
             )
         elif steps < 0:
             raise ServingError(f"steps must be >= 0, got {steps}")
+        precision = self.plan.precision
+        if tolerance is not None:
+            precision = self.plan.router().route(
+                int(steps), float(tolerance), self.telemetry
+            )
+            self.telemetry.count(
+                "precision_requests_f32"
+                if precision == "float32"
+                else "precision_requests_f64"
+            )
         self._admission.admit(
             tenant,
             self._scheduler.pending() + self._inflight,
@@ -332,6 +369,8 @@ class StencilServer:
             tenant=tenant,
             future=future,
             cost=self._cost,
+            tolerance=None if tolerance is None else float(tolerance),
+            precision=precision,
         )
         self._scheduler.push(tenant, req, cost=req.cost)
         if cfg.request_timeout_ms is not None:
@@ -362,10 +401,14 @@ class StencilServer:
         )
 
     async def submit(
-        self, grid: np.ndarray, steps: int, tenant: str = "default"
+        self,
+        grid: np.ndarray,
+        steps: int,
+        tenant: str = "default",
+        tolerance: float | None = None,
     ) -> np.ndarray:
         """Enqueue one request and await its result (see `submit_nowait`)."""
-        return await self.submit_nowait(grid, steps, tenant)
+        return await self.submit_nowait(grid, steps, tenant, tolerance)
 
     # ------------------------------------------------------------- batch loop
 
@@ -417,9 +460,9 @@ class StencilServer:
         """Run one collected batch, grouped by ``steps``, off the loop."""
         self._inflight += len(batch)
         tel = self.telemetry
-        groups: "OrderedDict[int, list[_Request]]" = OrderedDict()
+        groups: "OrderedDict[tuple[int, str], list[_Request]]" = OrderedDict()
         for req in batch:
-            groups.setdefault(req.steps, []).append(req)
+            groups.setdefault((req.steps, req.precision), []).append(req)
         loop = asyncio.get_running_loop()
         try:
             await self._execute_groups(groups, loop, tel, batch)
@@ -436,14 +479,14 @@ class StencilServer:
             self._inflight -= len(batch)
 
     async def _execute_groups(self, groups, loop, tel, batch) -> None:
-        for steps, reqs in groups.items():
-            await self._execute_group(steps, reqs, loop, tel)
+        for (steps, precision), reqs in groups.items():
+            await self._execute_group(steps, precision, reqs, loop, tel)
         self.batches += 1
         if tel.enabled:
             tel.observe("serve_batch_size", float(len(batch)))
 
-    async def _execute_group(self, steps, reqs, loop, tel) -> None:
-        """Serve one same-``steps`` group: retry transients, bisect poison.
+    async def _execute_group(self, steps, precision, reqs, loop, tel) -> None:
+        """Serve one same-``(steps, precision)`` group: retry, bisect.
 
         Recovery escalates in two stages.  First a bounded retry loop with
         exponential backoff absorbs failures that are plausibly transient
@@ -473,7 +516,7 @@ class StencilServer:
                     return
             try:
                 results, inline, per_grid = await self._dispatch(
-                    steps, live, loop, tel
+                    steps, live, loop, tel, precision
                 )
             except WorkerCrashError as e:
                 # Infrastructure, not data: feed the breaker and retry —
@@ -491,6 +534,10 @@ class StencilServer:
                 last_exc = e
                 break  # data/numerical/unknown failure: isolate it
             self._breaker.record_success()
+            if precision == "float32" and precision != self.plan.precision:
+                results = await self._spot_check_group(
+                    steps, live, results, loop, tel
+                )
             self._finish_group(live, results, inline, per_grid, tel)
             return
         live = [r for r in live if not r.future.done()]
@@ -504,10 +551,10 @@ class StencilServer:
         self.bisections += 1
         tel.count("serving_bisections")
         mid = len(live) // 2
-        await self._execute_group(steps, live[:mid], loop, tel)
-        await self._execute_group(steps, live[mid:], loop, tel)
+        await self._execute_group(steps, precision, live[:mid], loop, tel)
+        await self._execute_group(steps, precision, live[mid:], loop, tel)
 
-    async def _dispatch(self, steps, reqs, loop, tel):
+    async def _dispatch(self, steps, reqs, loop, tel, precision=None):
         """Run one group through ``serve_batch`` in the breaker's mode."""
         mode = self._breaker.mode()
         if mode == "processes":
@@ -516,9 +563,16 @@ class StencilServer:
             processes, workers = 1, self.config.workers
         else:  # serial
             processes, workers = 1, 1
+        plan = self.plan
+        if precision is not None and precision != plan.precision:
+            plan = plan.variant(precision)
+        if plan.precision != "float64":
+            # The shared-memory process engine is float64-only; a routed
+            # float32 group runs threads regardless of the breaker rung.
+            processes = 1
         call = functools.partial(
             serve_batch,
-            self.plan,
+            plan,
             [r.grid for r in reqs],
             steps,
             double_layer=self.config.double_layer,
@@ -548,6 +602,42 @@ class StencilServer:
         elapsed = time.perf_counter() - t0
         return results, inline, elapsed / len(reqs)
 
+    async def _spot_check_group(self, steps, reqs, results, loop, tel):
+        """Verify a routed float32 group on the router's sentinel cadence.
+
+        Off-cadence this is a no-op.  On cadence the first request is
+        re-run at float64 and compared against its declared tolerance
+        (the tightest in the group, to be safe); a breach sticky-escalates
+        the router — every later request routes float64 — and the whole
+        group is re-served on the reference tier so no caller ever
+        receives the breaching result.
+        """
+        live = [r for r in reqs if not r.future.done()]
+        if not live:
+            return results
+        tols = [r.tolerance for r in live if r.tolerance is not None]
+        if not tols:
+            return results
+        router = self.plan.router()
+        ref = await loop.run_in_executor(
+            None,
+            functools.partial(
+                router.spot_check,
+                live[0].grid,
+                results[reqs.index(live[0])],
+                steps,
+                min(tols),
+                tel,
+            ),
+        )
+        if ref is None:
+            return results
+        tel.count("serving_precision_escalations")
+        results, _inline, _per_grid = await self._dispatch(
+            steps, reqs, loop, tel, "float64"
+        )
+        return results
+
     def _finish_group(self, reqs, results, inline, per_grid, tel) -> None:
         alpha = self.config.ewma_alpha
         self._service_ewma = (
@@ -556,9 +646,12 @@ class StencilServer:
             else alpha * per_grid + (1 - alpha) * self._service_ewma
         )
         t_done = time.perf_counter()
+        want = self.plan.dtype
         for r, out in zip(reqs, results):
             if not r.future.done():
-                r.future.set_result(out)
+                # Routed groups computed in another tier come home in the
+                # serving plan's dtype, so callers see one stable dtype.
+                r.future.set_result(out.astype(want, copy=False))
             if tel.enabled:
                 tel.observe(
                     "serve_latency_ms", (t_done - r.t_submit) * 1000.0

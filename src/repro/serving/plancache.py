@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.precision import complex_dtype, resolve_precision
 from ..errors import ServingError
 from ..observability import NULL_TELEMETRY
 
@@ -60,6 +61,7 @@ def _key_string(
     tile: tuple[int, ...] | None,
     backend_name: str,
     workers: int | None,
+    precision: str = "float64",
 ) -> str:
     """Render the plan-key tuple as one canonical line.
 
@@ -67,20 +69,26 @@ def _key_string(
     not just its display name — two kernels that happen to share a name
     must not share spectra.  GPU and config are frozen dataclasses with
     value-based reprs, so their rendering is stable across processes.
+
+    ``precision`` joins the key for every non-reference tier, so a
+    float32 entry can never collide with — and so never warm-start — a
+    float64 plan; the float64 rendering is byte-identical to the
+    historical one, keeping pre-existing on-disk entries valid.
     """
-    return "|".join(
-        [
-            f"grid={tuple(grid_shape)}",
-            f"kernel={kernel.name}:{kernel.offsets}:{kernel.weights}",
-            f"fused={int(fused_steps)}",
-            f"boundary={boundary}",
-            f"gpu={gpu!r}",
-            f"config={config!r}",
-            f"tile={tile}",
-            f"backend={backend_name}",
-            f"workers={workers}",
-        ]
-    )
+    parts = [
+        f"grid={tuple(grid_shape)}",
+        f"kernel={kernel.name}:{kernel.offsets}:{kernel.weights}",
+        f"fused={int(fused_steps)}",
+        f"boundary={boundary}",
+        f"gpu={gpu!r}",
+        f"config={config!r}",
+        f"tile={tile}",
+        f"backend={backend_name}",
+        f"workers={workers}",
+    ]
+    if precision != "float64":
+        parts.append(f"precision={precision}")
+    return "|".join(parts)
 
 
 class PlanDiskCache:
@@ -133,13 +141,20 @@ class PlanDiskCache:
         """
         digest = self.digest(key_string)
         meta_path, npz_path = self._paths(digest)
+        precision = str(artifacts.get("precision", "float64"))
         meta = {
             "key": key_string,
             "tile": list(artifacts["tile"]),
             "local_shape": list(artifacts["local_shape"]),
             "steps": int(artifacts["steps"]),
+            "precision": precision,
         }
-        spectrum = np.asarray(artifacts["fused_spectrum"], dtype=np.complex128)
+        # The payload is stored in the tier's own complex dtype: the dtype
+        # *is* part of the artifact, and a reader cross-checks it against
+        # the meta record so a hand-edited or torn entry heals as a miss.
+        spectrum = np.asarray(
+            artifacts["fused_spectrum"], dtype=complex_dtype(precision)
+        )
         try:
             # Spectrum first: a reader keys on the meta file, so publishing
             # meta last means a visible entry always has its spectrum.
@@ -168,12 +183,16 @@ class PlanDiskCache:
 
     # ----------------------------------------------------------------- fetch
 
-    def get(self, key_string: str) -> dict | None:
+    def get(self, key_string: str, precision: str = "float64") -> dict | None:
         """The stored artifacts for ``key_string``, or ``None`` on a miss.
 
         A corrupt, torn, or key-colliding entry is treated as a miss and
         unlinked so the next :meth:`put` heals it — persistence must never
-        turn into an availability problem.
+        turn into an availability problem.  ``precision`` is the tier the
+        caller is about to build: an entry whose recorded precision or
+        payload dtype disagrees (a float32 spectrum reached under a
+        float64 key, or vice versa) is corrupt by definition and heals as
+        a miss rather than warm-starting the wrong tier.
         """
         digest = self.digest(key_string)
         meta_path, npz_path = self._paths(digest)
@@ -181,8 +200,18 @@ class PlanDiskCache:
             meta = json.loads(meta_path.read_text())
             if meta.get("key") != key_string:
                 raise ValueError("digest collision or stale entry")
+            if meta.get("precision", "float64") != precision:
+                raise ValueError(
+                    f"entry precision {meta.get('precision', 'float64')!r} "
+                    f"!= requested {precision!r}"
+                )
             with np.load(npz_path) as npz:
                 spectrum = np.array(npz["fused_spectrum"])
+            if spectrum.dtype != np.dtype(complex_dtype(precision)):
+                raise ValueError(
+                    f"payload dtype {spectrum.dtype} != {precision} tier "
+                    f"dtype {np.dtype(complex_dtype(precision))}"
+                )
             tile = tuple(int(t) for t in meta["tile"])
             local_shape = tuple(int(s) for s in meta["local_shape"])
             if spectrum.shape != local_shape:
@@ -210,6 +239,7 @@ class PlanDiskCache:
             "local_shape": local_shape,
             "steps": int(meta["steps"]),
             "fused_spectrum": spectrum,
+            "precision": precision,
         }
 
     def _miss(self) -> None:
@@ -229,6 +259,7 @@ class PlanDiskCache:
         tile=None,
         backend=None,
         workers: int | None = None,
+        precision: str | None = None,
     ) -> "FlashFFTStencil":
         """Construct a plan, warm-starting from disk when possible.
 
@@ -259,17 +290,19 @@ class PlanDiskCache:
                 else tuple(int(t) for t in tile)
             )
         resolved = get_backend(backend)
+        prec = resolve_precision(precision)
         key = _key_string(
             grid_shape, kernel, fused_steps, boundary, gpu, config,
-            tile, resolved.name, workers,
+            tile, resolved.name, workers, prec,
         )
-        stored = self.get(key)
+        stored = self.get(key, prec)
         if stored is not None:
             spectrum_cache_seed(
                 kernel,
                 stored["local_shape"],
                 stored["steps"],
                 stored["fused_spectrum"],
+                precision=prec,
             )
             return FlashFFTStencil(
                 grid_shape,
@@ -281,6 +314,7 @@ class PlanDiskCache:
                 tile=stored["tile"],
                 backend=resolved,
                 workers=workers,
+                precision=prec,
             )
         plan = FlashFFTStencil(
             grid_shape,
@@ -292,6 +326,7 @@ class PlanDiskCache:
             tile=tile,
             backend=resolved,
             workers=workers,
+            precision=prec,
         )
         self.put(key, plan.planning_artifacts())
         return plan
