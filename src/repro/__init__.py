@@ -117,6 +117,14 @@ from .serving import (
     ServingConfig,
     StencilServer,
 )
+from .tuner import (
+    OnlineTuner,
+    TunerCandidate,
+    TunerPolicy,
+    WorkloadSignature,
+    autotune_default,
+    workload_signature,
+)
 
 __version__ = "1.0.0"
 
@@ -149,6 +157,7 @@ __all__ = [
     "NumpyFFTBackend",
     "NumericalError",
     "NumericalWarning",
+    "OnlineTuner",
     "PFAError",
     "PFAPlan",
     "PlanDiskCache",
@@ -169,8 +178,13 @@ __all__ = [
     "StreamlineConfig",
     "TCUStencilExecutor",
     "Telemetry",
+    "TunerCandidate",
+    "TunerPolicy",
+    "WorkloadSignature",
     "WorkspaceArena",
+    "autotune_default",
     "telemetry_to_json",
+    "workload_signature",
     "apply_fft_stencil",
     "apply_many",
     "apply_stencil",

@@ -24,7 +24,51 @@ from ..core.plan import FlashFFTStencil
 from ..gpusim.roofline import arithmetic_intensity
 from ..gpusim.spec import A100, GPUSpec, H100
 
-__all__ = ["Figure10Row", "figure10_rows"]
+__all__ = [
+    "Figure10Row",
+    "figure10_rows",
+    "kernel_tap_density",
+    "fragment_density",
+]
+
+
+def kernel_tap_density(kernel: StencilKernel) -> float:
+    """Occupied fraction of the kernel's dense footprint box, in (0, 1].
+
+    SPIDER / SparStencil (PAPERS.md) show sparsity-aware lowering choices
+    matter: a 3-tap star in a 3x3x3 box (density ~0.11) wastes most of a
+    dense transform's work, while a full box kernel uses all of it.  The
+    online tuner folds this signal into its pruning model — sparse kernels
+    weight the transform-flop term down (spectral fusion amortises taps
+    anyway) relative to the traffic term, shifting which candidates are
+    worth timing.
+    """
+    box = 1
+    for m in kernel.footprint_lengths:
+        box *= int(m)
+    return kernel.points / float(max(1, box))
+
+
+def fragment_density(length: int) -> float:
+    """Kept (non-padding) fragment fraction of a PFA window's DFT matrices.
+
+    The gpusim fragment model pads each DFT factor matrix up to the 8x4
+    FP64 WMMA fragment grid; padding rows/columns are zero work the TCU
+    still executes.  For a window with a co-prime split ``(N1, N2)`` this
+    is the product of both factors' dense fractions — the same merit term
+    Eq.-(5) tuning weighs (:func:`repro.core.autotune._useful_fraction`),
+    exposed here so the online tuner's pruning model can consult it
+    without re-deriving the split.  Windows with no co-prime split score
+    the single dense-matrix fraction.
+    """
+    from ..core.pfa import _fragment_pad_waste, best_coprime_split, coprime_splits
+
+    if length < 2:
+        return 1.0
+    if not coprime_splits(length):
+        return 1.0 - _fragment_pad_waste(length)
+    n1, n2 = best_coprime_split(length)
+    return (1.0 - _fragment_pad_waste(n1)) * (1.0 - _fragment_pad_waste(n2))
 
 
 @dataclass(frozen=True)

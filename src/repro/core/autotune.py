@@ -24,6 +24,7 @@ from ..errors import PlanError
 from ..gpusim.spec import GPUSpec
 from .kernels import StencilKernel
 from .pfa import _fragment_pad_waste, best_coprime_split, coprime_splits
+from .precision import complex_dtype, real_dtype
 
 __all__ = ["TunedSegment", "choose_segment_length", "choose_tile_shape"]
 
@@ -61,30 +62,39 @@ class TunedSegment:
         return self.valid / self.length
 
 
-def _smem_demand_bytes(length: int, rfft: bool = False) -> int:
+def _smem_demand_bytes(
+    length: int, rfft: bool = False, precision: str = "float64"
+) -> int:
     """Shared memory one block needs for a length-``L`` fused window.
 
     The two PFA DFT matrices (``N1^2 + N2^2`` complex; the inverses are
     recomputed, not stored — Squeezing Registers) are charged either way.
     ``rfft=False`` is the original Eq. (5) model: a full complex window
-    transformed in place plus a full complex transformed kernel (16 B per
-    element each).  ``rfft=True`` matches the real-FFT fuse the engine
-    actually runs: real data transforms to the Hermitian **half-spectrum**
-    of ``L//2 + 1`` complex bins, so the block stores the real window (8 B
-    per element) alongside its half-spectrum — ``max(8L, 16(L//2+1))``,
-    since the in-place footprint is whichever layout is larger — and only
-    a half-spectrum kernel.  Charging the full spectrum overstates demand
-    by ~2x and makes Eq. (5) stop one ``a`` short of the true capacity.
+    transformed in place plus a full complex transformed kernel.
+    ``rfft=True`` matches the real-FFT fuse the engine actually runs: real
+    data transforms to the Hermitian **half-spectrum** of ``L//2 + 1``
+    complex bins, so the block stores the real window alongside its
+    half-spectrum — ``max(rsize*L, csize*(L//2+1))``, since the in-place
+    footprint is whichever layout is larger — and only a half-spectrum
+    kernel.  Charging the full spectrum overstates demand by ~2x and makes
+    Eq. (5) stop one ``a`` short of the true capacity.
+
+    Element sizes come from the plan's precision tier: the float32 tier
+    moves 4 B reals / 8 B complexes, so its Eq.-(5) search keeps growing
+    ``a`` until the *true* capacity, not the one-half of it that the
+    historical hard-coded 8 B / 16 B implied.
     """
+    rsize = real_dtype(precision).itemsize
+    csize = complex_dtype(precision).itemsize
     n1, n2 = best_coprime_split(length)
-    matrices = (n1 * n1 + n2 * n2) * 16
+    matrices = (n1 * n1 + n2 * n2) * csize
     if rfft:
         half = length // 2 + 1
-        window = max(8 * length, 16 * half)
-        kf = 16 * half
+        window = max(rsize * length, csize * half)
+        kf = csize * half
     else:
-        window = 16 * length
-        kf = 16 * length
+        window = csize * length
+        kf = csize * length
     return window + matrices + kf
 
 
@@ -94,11 +104,14 @@ def choose_segment_length(
     spec: GPUSpec,
     blocks_per_sm: int = 2,
     max_a: int = 64,
+    precision: str = "float64",
 ) -> TunedSegment:
     """Pick the largest Eq.-(5) ``L`` whose working set fits ``p`` blocks/SM.
 
     Only 1-D kernels route through PFA tuning; use :func:`choose_tile_shape`
-    for multi-dimensional stencils.
+    for multi-dimensional stencils.  ``precision`` sets the element sizes
+    of the Eq.-(5) working set (the float32 tier fits roughly twice the
+    window per block, so it may admit a larger ``a``).
     """
     if kernel.ndim != 1:
         raise PlanError(
@@ -117,7 +130,7 @@ def choose_segment_length(
             continue
         if not coprime_splits(length):
             continue
-        smem = _smem_demand_bytes(length, rfft=True)
+        smem = _smem_demand_bytes(length, rfft=True, precision=precision)
         if smem * blocks_per_sm > spec.smem_per_sm_bytes:
             break                        # demand grows with a; stop searching
         cand = TunedSegment(
@@ -143,6 +156,7 @@ def choose_tile_shape(
     steps: int,
     spec: GPUSpec,
     blocks_per_sm: int = 2,
+    precision: str = "float64",
 ) -> tuple[int, ...]:
     """Valid-tile shape ``S`` per axis for multi-dimensional stencils.
 
@@ -167,6 +181,8 @@ def choose_tile_shape(
         )
     halo = tuple(steps * r for r in kernel.radius)
     budget = spec.smem_per_sm_bytes // max(1, blocks_per_sm)
+    rsize = real_dtype(precision).itemsize
+    csize = complex_dtype(precision).itemsize
     t = FRAGMENT_T
     # Axis 0 accumulates (never transformed): only halo amplification
     # matters, and slices stream, so its tile can be long.
@@ -195,8 +211,8 @@ def choose_tile_shape(
         # Resident working set: a band of transformed slices plus the DFT
         # matrices for the transform axes.
         slice_elems = int(np.prod(middle_locals, dtype=np.int64)) * l_last
-        matrices = (sum(l * l for l in middle_locals) + n1 * n1 + n2 * n2) * 16
-        smem = 2 * slice_elems * 16 + matrices
+        matrices = (sum(l * l for l in middle_locals) + n1 * n1 + n2 * n2) * csize
+        smem = 2 * slice_elems * csize + matrices
         if smem > budget:
             continue
         # Per-point per-application cost (double-layer already folded into
@@ -206,7 +222,7 @@ def choose_tile_shape(
             np.prod([l / s for l, s in zip(local, valid)])
         )
         amp = float(np.prod([l / s for l, s in zip(local, valid)]))
-        bytes_pt = 8.0 * amp + 8.0
+        bytes_pt = float(rsize) * amp + float(rsize)
         time_pt = max(
             flops_pt / spec.peak_tc_flops, bytes_pt / spec.bandwidth_bytes
         )

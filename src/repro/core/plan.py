@@ -349,7 +349,9 @@ class FlashFFTStencil:
 
         if tile is None:
             if kernel.ndim == 1:
-                self.tuned = choose_segment_length(kernel, self.fused_steps, gpu)
+                self.tuned = choose_segment_length(
+                    kernel, self.fused_steps, gpu, precision=self.precision
+                )
                 halo = self.fused_steps * kernel.max_radius
                 s = min(self.tuned.valid, grid_shape[0])
                 # keep the window length PFA-factorisable for the TCU path
@@ -363,7 +365,11 @@ class FlashFFTStencil:
                 # with p = 1): slice windows stream, so capacity beats
                 # block-level co-residency here.
                 auto = choose_tile_shape(
-                    kernel, self.fused_steps, gpu, blocks_per_sm=1
+                    kernel,
+                    self.fused_steps,
+                    gpu,
+                    blocks_per_sm=1,
+                    precision=self.precision,
                 )
                 tile = tuple(min(t, g) for t, g in zip(auto, grid_shape))
         elif isinstance(tile, (int, np.integer)):
@@ -916,6 +922,7 @@ class FlashFFTStencil:
         resident: bool | None = None,
         processes: int | None = None,
         tolerance: float | None = None,
+        tune: bool | None = None,
     ) -> np.ndarray:
         """Advance ``total_steps`` time steps (fused in chunks of ``fused_steps``).
 
@@ -967,10 +974,49 @@ class FlashFFTStencil:
         hot path — zero overhead.  Resident iteration composes with it by
         chunking: checkpoint, sentinel-probe, and fault sites force a
         stitch (chunk boundary), so recovery semantics are unchanged.
+
+        ``tune`` opts the run into online autotuning
+        (:class:`~repro.tuner.OnlineTuner`): the joint configuration —
+        fusion depth, tile, FFT backend, workers, residency, processes —
+        is taken from the tuned-winner cache, searched with interleaved
+        live trials on a miss, and the winner executed end to end.
+        ``None`` (default) consults ``$REPRO_AUTOTUNE``, which silently
+        yields to any explicitly pinned knob (``emulate_tcu``,
+        ``robustness``, ``tolerance``, explicit ``resident``/
+        ``processes``) — the established env-default convention — while
+        an *explicit* ``tune=True`` conflicts loudly with all of them.
         """
         tel = telemetry if telemetry is not None else NULL_TELEMETRY
         if total_steps < 0:
             raise PlanError(f"total_steps must be >= 0, got {total_steps}")
+        if tune is None:
+            from ..tuner import autotune_default
+
+            tune = (
+                autotune_default()
+                and not emulate_tcu
+                and robustness is None
+                and tolerance is None
+                and resident is None
+                and processes is None
+            )
+        elif tune:
+            if emulate_tcu or robustness is not None or tolerance is not None:
+                raise PlanError(
+                    "tune=True is incompatible with emulate_tcu, "
+                    "robustness=, and tolerance= (they pin the execution "
+                    "path)"
+                )
+            if resident is not None or processes is not None:
+                raise PlanError(
+                    "tune=True is incompatible with explicit resident=/"
+                    "processes=: they are tuner dimensions (pin them and "
+                    "drop tune, or let the tuner choose)"
+                )
+        if tune:
+            from ..tuner import get_default_tuner
+
+            return get_default_tuner().run(self, grid, total_steps, telemetry=tel)
         if tolerance is not None:
             if emulate_tcu or robustness is not None:
                 raise PlanError(
@@ -1087,6 +1133,7 @@ class FlashFFTStencil:
         resident: bool | None = None,
         processes: int | None = None,
         tolerance: float | None = None,
+        tune: bool | None = None,
     ) -> np.ndarray:
         """Advance B independent grids ``total_steps`` steps in batched
         passes (remainder handled by the cached tail plan, as in
@@ -1097,8 +1144,11 @@ class FlashFFTStencil:
         instead (``None`` consults ``$REPRO_PROCS``; ``0`` autotunes) —
         see :func:`repro.distributed.engine.run_many_processes`.
         ``tolerance`` routes the whole batch to the cheapest precision
-        tier meeting the budget (see :meth:`router`).  Returns a ``(B,
-        *grid_shape)`` stack.  See :func:`repro.parallel.batch.run_many`.
+        tier meeting the budget (see :meth:`router`).  ``tune`` opts the
+        batch into online autotuning with the batch width as a tuner
+        dimension (``None`` consults ``$REPRO_AUTOTUNE``; see
+        :meth:`run`).  Returns a ``(B, *grid_shape)`` stack.  See
+        :func:`repro.parallel.batch.run_many`.
         """
         from ..parallel.batch import run_many as _run_many
 
@@ -1112,6 +1162,7 @@ class FlashFFTStencil:
             resident=resident,
             processes=processes,
             tolerance=tolerance,
+            tune=tune,
         )
 
     # -------------------------------------------------- fault-tolerant run

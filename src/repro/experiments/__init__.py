@@ -1,7 +1,7 @@
 """One runner per paper artifact; ``python -m repro.experiments all``."""
 
 from .figures import fig6, fig7, fig8, fig9, fig10
-from .extensions import accuracy, distributed, resident, scaling
+from .extensions import accuracy, autotune, distributed, resident, scaling
 from .future import future_gpus
 from .runner import EXPERIMENTS, main
 from .tables import table1, table2, table3, table4
@@ -10,6 +10,7 @@ from .validate import validate
 __all__ = [
     "EXPERIMENTS",
     "accuracy",
+    "autotune",
     "distributed",
     "resident",
     "scaling",

@@ -14,6 +14,10 @@
 * ``precision`` — the mixed-precision tier: measured float32-vs-float64
   drift per heat case against the router's modeled bound, plus the tier
   each declared tolerance routes to (TECHNIQUES.md §17).
+* ``autotune`` — the online tuner: the configuration the joint-space
+  search picks per geometry, the trial steps it spent deciding, and the
+  persisted winner replaying on a second run without re-trialing
+  (TECHNIQUES.md §18).
 """
 
 from __future__ import annotations
@@ -36,7 +40,14 @@ from ..observability import Telemetry
 from ..workloads.generators import random_field
 from ._fmt import header, table
 
-__all__ = ["scaling", "accuracy", "distributed", "precision", "resident"]
+__all__ = [
+    "autotune",
+    "accuracy",
+    "distributed",
+    "precision",
+    "resident",
+    "scaling",
+]
 
 
 def scaling() -> str:
@@ -176,7 +187,9 @@ def distributed() -> str:
     for name, shape, kf, tile, fused in cases:
         plan = FlashFFTStencil(shape, kf(), fused_steps=fused, tile=tile, workers=1)
         grid = random_field(shape, seed=23)
-        want = plan.run(grid, apps * fused)
+        # The serial reference must be the static configuration even when
+        # $REPRO_AUTOTUNE is armed — a tuned depth changes numerics.
+        want = plan.run(grid, apps * fused, tune=False)
         engine = ProcessEngine(plan.segments, ranks)
         try:
             tel = Telemetry()
@@ -275,6 +288,72 @@ def resident() -> str:
             rows,
             ["workload", "grid", "exchange", "halo/grid", "trips saved",
              "traffic cut", "equality"],
+        )
+        + note
+    )
+
+
+def autotune() -> str:
+    """Online-tuner study: what the joint-space search picks, and when.
+
+    For each validation-scale heat geometry, a fresh
+    :class:`~repro.tuner.OnlineTuner` (floors lowered to admit the small
+    grids) searches the joint configuration space on the live run, the
+    result is checked against the direct reference engine, and a second
+    identical run must replay the persisted winner without a single new
+    trial step.  The wall-clock gate (within 5 % of best hand-tuned,
+    never slower than static, bounded first-run overhead) lives in
+    ``benchmarks/bench_autotune.py``.
+    """
+    from ..tuner import OnlineTuner, TunerPolicy
+    from ..tuner.space import static_candidate
+
+    cases = (
+        ("Heat-1D", (1 << 16,), heat_1d, (1024,), 8),
+        ("Heat-2D", (128, 128), heat_2d, (32, 32), 4),
+    )
+    apps = 8
+    rows = []
+    for name, shape, kf, tile, fused in cases:
+        plan = FlashFFTStencil(shape, kf(), fused_steps=fused, tile=tile)
+        grid = random_field(shape, seed=29)
+        steps = apps * fused
+        want = run_stencil(grid, plan.kernel, steps)
+        tuner = OnlineTuner(policy=TunerPolicy(min_points=1))
+        got = tuner.run(plan, grid, steps)
+        err = float(np.max(np.abs(got - want)))
+        assert err < 1e-8, f"{name}: tuned result diverged ({err:.2e})"
+        first = tuner.info()
+        trial_steps = first["trials_run"]
+        tuner.run(plan, grid, steps)
+        second = tuner.info()
+        assert second["searches"] == first["searches"], f"{name}: re-searched"
+        assert second["trials_run"] == trial_steps, f"{name}: re-trialed"
+        cand = tuner.tune(plan, grid, steps)
+        rows.append(
+            [
+                name,
+                "x".join(str(s) for s in shape),
+                static_candidate(plan, steps).label(),
+                cand.label(),
+                str(trial_steps),
+                "cached" if second["cache_hits"] > first["cache_hits"] else "?",
+                f"{err:.1e}",
+            ]
+        )
+    note = (
+        "\ntrial steps = simulated steps spent on live paired trials"
+        "\n(bounded by the policy's 20% traffic fraction); rerun column:"
+        "\nthe second identical run replays the winner without trials."
+        "\nwall-clock gate: benchmarks/bench_autotune.py"
+    )
+    return (
+        header(f"Extension: online autotuning ({apps} applications)")
+        + "\n"
+        + table(
+            rows,
+            ["workload", "grid", "static", "tuned", "trial steps", "rerun",
+             "max err"],
         )
         + note
     )

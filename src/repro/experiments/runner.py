@@ -16,7 +16,14 @@ import argparse
 import sys
 from typing import Callable
 
-from .extensions import accuracy, distributed, precision, resident, scaling
+from .extensions import (
+    accuracy,
+    autotune,
+    distributed,
+    precision,
+    resident,
+    scaling,
+)
 from .figures import fig6, fig7, fig8, fig9, fig10
 from .future import future_gpus
 from .robustness import robustness
@@ -42,6 +49,7 @@ EXPERIMENTS: dict[str, Callable[[], str]] = {
     "resident": resident,
     "distributed": distributed,
     "precision": precision,
+    "autotune": autotune,
     "robustness": robustness,
     "telemetry": telemetry,
     "validate": validate,

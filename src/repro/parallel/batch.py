@@ -291,6 +291,7 @@ def run_many(
     processes: int | None = None,
     injector=None,
     tolerance: float | None = None,
+    tune: bool | None = None,
 ) -> np.ndarray:
     """Advance B independent grids by ``total_steps`` in batched passes.
 
@@ -317,6 +318,39 @@ def run_many(
     if total_steps < 0:
         raise PlanError(f"total_steps must be >= 0, got {total_steps}")
     tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if tune is None:
+        from ..tuner import autotune_default
+
+        # The env default yields silently to any explicitly pinned knob
+        # (the $REPRO_RESIDENT / $REPRO_PROCS convention); double-layer
+        # packing and fault injection pin the execution path too.
+        tune = (
+            autotune_default()
+            and tolerance is None
+            and resident is None
+            and processes is None
+            and workers is None
+            and injector is None
+            and not double_layer
+        )
+    elif tune:
+        if tolerance is not None or injector is not None or double_layer:
+            raise PlanError(
+                "tune=True is incompatible with tolerance=, injector=, "
+                "and double_layer (they pin the execution path)"
+            )
+        if resident is not None or processes is not None or workers is not None:
+            raise PlanError(
+                "tune=True is incompatible with explicit workers=/"
+                "resident=/processes=: they are tuner dimensions"
+            )
+    if tune:
+        from ..tuner import get_default_tuner
+
+        return get_default_tuner().run_many(
+            plan, grids, total_steps, telemetry=tel,
+            double_layer=double_layer,
+        )
     if tolerance is not None:
         return plan.router().run_many(
             grids,

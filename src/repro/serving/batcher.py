@@ -79,6 +79,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.plan import FlashFFTStencil
     from ..robustness.faults import FaultInjector
     from ..robustness.guards import GuardPolicy
+    from ..tuner import OnlineTuner
 
 __all__ = ["ServingConfig", "StencilServer"]
 
@@ -229,6 +230,7 @@ class StencilServer:
         config: ServingConfig | None = None,
         telemetry: Telemetry | None = None,
         injector: "FaultInjector | None" = None,
+        tuner: "OnlineTuner | None" = None,
     ) -> None:
         self.plan = plan
         self.config = config if config is not None else ServingConfig()
@@ -236,6 +238,24 @@ class StencilServer:
         #: Chaos harness: process-level faults forwarded to the scale-out
         #: execution path (benchmarks/bench_chaos.py drives this).
         self.injector = injector
+        #: Online tuner (:class:`~repro.tuner.OnlineTuner`): when present,
+        #: the adaptive batch size becomes a tuner dimension — live
+        #: per-grid service observations per batch size feed
+        #: :meth:`~repro.tuner.OnlineTuner.observe_batch`, and once the
+        #: tuner decides, its target caps the EWMA sizing.  Breaker
+        #: degradation invalidates the tuned state (the machine the winner
+        #: was measured on is gone).
+        self.tuner = tuner
+        self._tuner_sig = None
+        if tuner is not None:
+            from ..tuner import workload_signature
+
+            # Serving workloads vary per-request steps, so the serving
+            # signature pins steps=0 and carries the batch ceiling: one
+            # tuned batch decision per (plan, machine, max_batch).
+            self._tuner_sig = workload_signature(
+                plan, 0, batch=self.config.max_batch
+            )
         points = float(np.prod(plan.grid_shape))
         quantum = self.config.quantum if self.config.quantum is not None else points
         self._scheduler = DeficitRoundRobin(
@@ -417,13 +437,24 @@ class StencilServer:
 
         With no samples yet (or adaptation off) the full ``max_batch``;
         otherwise the largest B whose expected execution time ``B * ewma``
-        fits in ``service_fraction * deadline``.
+        fits in ``service_fraction * deadline``.  A tuner-decided batch
+        target (measured, not predicted) caps the EWMA answer — the
+        deadline budget still rules, so a tuned target can shrink batches
+        but never push service past the deadline.
         """
         cfg = self.config
+        tuned = (
+            self.tuner.tuned_batch(self._tuner_sig)
+            if self.tuner is not None
+            else None
+        )
         if not cfg.adaptive or not self._service_ewma:
-            return cfg.max_batch
-        budget_s = cfg.deadline_ms / 1000.0 * cfg.service_fraction
-        target = int(budget_s / self._service_ewma)
+            target = cfg.max_batch
+        else:
+            budget_s = cfg.deadline_ms / 1000.0 * cfg.service_fraction
+            target = int(budget_s / self._service_ewma)
+        if tuned is not None:
+            target = min(target, tuned)
         return max(1, min(cfg.max_batch, target))
 
     async def _batch_loop(self) -> None:
@@ -524,6 +555,11 @@ class StencilServer:
                 last_exc = e
                 self._breaker.record_failure()
                 tel.count("serving_worker_crashes")
+                if self.tuner is not None:
+                    # The degradation ladder just moved: whatever batch
+                    # target was tuned was measured on conditions that no
+                    # longer hold — re-observe from scratch.
+                    self.tuner.invalidate(self._tuner_sig)
                 continue
             except FaultInjected as e:
                 last_exc = e
@@ -645,6 +681,8 @@ class StencilServer:
             if self._service_ewma is None
             else alpha * per_grid + (1 - alpha) * self._service_ewma
         )
+        if self.tuner is not None:
+            self.tuner.observe_batch(self._tuner_sig, len(reqs), per_grid)
         t_done = time.perf_counter()
         want = self.plan.dtype
         for r, out in zip(reqs, results):
@@ -674,6 +712,11 @@ class StencilServer:
             "batches": self.batches,
             "served": self.served,
             "batch_target": self._batch_size_target(),
+            "tuned_batch": (
+                None
+                if self.tuner is None
+                else self.tuner.tuned_batch(self._tuner_sig)
+            ),
             "service_ewma_ms": (
                 None if self._service_ewma is None else self._service_ewma * 1000.0
             ),

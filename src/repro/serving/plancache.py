@@ -246,6 +246,78 @@ class PlanDiskCache:
         self.misses += 1
         self.telemetry.count("plan_disk_misses")
 
+    # ------------------------------------------------------- tuned configs
+    #
+    # The online tuner (:mod:`repro.tuner`) persists trial *winners* here,
+    # keyed by a workload signature rather than a plan key: the signature
+    # names the tuning problem (kernel digest, grid, steps, tier, machine
+    # resources), the stored value names the joint configuration that won.
+    # Entries use a distinct ``<digest>.tuned`` suffix so plan-entry
+    # accounting (``info()['entries']``) is unaffected.
+
+    def _config_path(self, digest: str) -> Path:
+        return self.directory / f"{digest}.tuned"
+
+    def put_config(self, key_string: str, config: dict) -> str:
+        """Persist one tuned configuration atomically; returns the digest.
+
+        ``config`` must be JSON-serialisable (the tuner stores
+        :meth:`~repro.tuner.space.TunerCandidate.to_json`).  The key
+        string is echoed into the record for collision detection and
+        auditability, mirroring :meth:`put`.
+        """
+        digest = self.digest(key_string)
+        record = {"key": key_string, "config": dict(config)}
+        try:
+            self._atomic_write(
+                self._config_path(digest),
+                lambda fh: fh.write(json.dumps(record, sort_keys=True).encode()),
+            )
+        except OSError as e:
+            raise ServingError(
+                f"cannot write tuned-config entry {digest}: {e}"
+            ) from e
+        self.telemetry.count("tuned_config_puts")
+        return digest
+
+    def get_config(self, key_string: str) -> dict | None:
+        """The tuned configuration stored for ``key_string``, or ``None``.
+
+        Like :meth:`get`, a corrupt or key-colliding entry heals as a
+        miss (unlinked) instead of raising — a damaged cache must cost a
+        re-tune, never an outage.
+        """
+        path = self._config_path(self.digest(key_string))
+        try:
+            record = json.loads(path.read_text())
+            if record.get("key") != key_string:
+                raise ValueError("digest collision or stale entry")
+            config = record["config"]
+            if not isinstance(config, dict):
+                raise ValueError("config payload is not an object")
+        except FileNotFoundError:
+            self.telemetry.count("tuned_config_misses")
+            return None
+        except (OSError, ValueError, KeyError) as e:
+            self.telemetry.event(
+                "tuned_config_corrupt", path=str(path), error=str(e)
+            )
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            self.telemetry.count("tuned_config_misses")
+            return None
+        self.telemetry.count("tuned_config_hits")
+        return config
+
+    def drop_config(self, key_string: str) -> None:
+        """Remove the tuned configuration for ``key_string``, if present."""
+        try:
+            self._config_path(self.digest(key_string)).unlink(missing_ok=True)
+        except OSError:
+            pass
+
     # ------------------------------------------------------------- warm path
 
     def warm_plan(
@@ -335,9 +407,11 @@ class PlanDiskCache:
 
     def info(self) -> dict:
         entries = len(list(self.directory.glob("*.json")))
+        tuned = len(list(self.directory.glob("*.tuned")))
         return {
             "directory": str(self.directory),
             "entries": entries,
+            "tuned_entries": tuned,
             "hits": self.hits,
             "misses": self.misses,
         }
@@ -347,6 +421,8 @@ class PlanDiskCache:
         for p in self.directory.glob("*.json"):
             p.unlink(missing_ok=True)
         for p in self.directory.glob("*.npz"):
+            p.unlink(missing_ok=True)
+        for p in self.directory.glob("*.tuned"):
             p.unlink(missing_ok=True)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,0 +1,50 @@
+"""Online autotuning: telemetry-driven re-planning under live load.
+
+See :mod:`repro.tuner.tuner` for the architecture overview.  Public
+surface:
+
+* :class:`OnlineTuner` / :class:`TunerPolicy` — the tuner and its budget;
+* :class:`TunerCandidate` / :func:`candidate_space` — the joint
+  configuration space;
+* :class:`WorkloadSignature` / :func:`workload_signature` /
+  :func:`kernel_digest` — process-stable workload identity;
+* :func:`predicted_seconds` / :func:`prune_candidates` — the model-based
+  pruning stage;
+* :func:`paired_trial` — the interleaved live-measurement primitive;
+* :func:`autotune_default` / :data:`AUTOTUNE_ENV` — the strict
+  ``$REPRO_AUTOTUNE`` switch;
+* :func:`get_default_tuner` / :func:`reset_default_tuner` — the shared
+  process-wide instance ``plan.run(tune=True)`` uses.
+"""
+
+from .measure import PairedTrial, paired_trial
+from .model import predicted_seconds, prune_candidates
+from .signature import WorkloadSignature, kernel_digest, workload_signature
+from .space import TunerCandidate, candidate_space, static_candidate
+from .tuner import (
+    AUTOTUNE_ENV,
+    OnlineTuner,
+    TunerPolicy,
+    autotune_default,
+    get_default_tuner,
+    reset_default_tuner,
+)
+
+__all__ = [
+    "AUTOTUNE_ENV",
+    "OnlineTuner",
+    "PairedTrial",
+    "TunerCandidate",
+    "TunerPolicy",
+    "WorkloadSignature",
+    "autotune_default",
+    "candidate_space",
+    "get_default_tuner",
+    "kernel_digest",
+    "paired_trial",
+    "predicted_seconds",
+    "prune_candidates",
+    "reset_default_tuner",
+    "static_candidate",
+    "workload_signature",
+]

@@ -1,0 +1,121 @@
+"""Interleaved paired trials: drift-free live measurement.
+
+The tuner times challengers against the incumbent under live load, where
+background noise (frequency scaling, page cache, co-tenants) drifts over
+seconds — exactly the regime one-sided timing gets wrong.  The discipline
+here is the one ``benchmarks/bench_resident.py`` established for the
+repo's regression gates:
+
+* both sides run in **every round**, with the order flipped per round, so
+  slow drift hits both sides equally;
+* the decision statistic is the **median of per-round ratios** — each
+  ratio is computed from two samples taken milliseconds apart, so drift
+  cancels within the pair and the median discards outlier rounds;
+* a :func:`_quiesce` (generation-2 collect + ``malloc_trim`` where
+  available) runs before the *warm-up* so one side doesn't pay the
+  other's garbage — and the warm-up, not a timed round, absorbs the
+  re-fault cost the trim itself creates.
+
+Every sample is recorded through the caller's
+:class:`~repro.observability.Telemetry` (spans ``tune/trial/incumbent``
+and ``tune/trial/challenger``, observation series per side), so tuning
+overhead is visible in the same instrument as the traffic it taxes.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import gc
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..observability import NULL_TELEMETRY, Telemetry
+
+__all__ = ["PairedTrial", "paired_trial"]
+
+
+def _quiesce() -> None:
+    """Collect garbage and return freed arenas so neither side pays for
+    the other's allocation history."""
+    gc.collect()
+    try:  # glibc only; silently unavailable elsewhere
+        ctypes.CDLL("libc.so.6").malloc_trim(0)
+    except Exception:
+        pass
+
+
+@dataclass(frozen=True)
+class PairedTrial:
+    """Outcome of one interleaved comparison."""
+
+    incumbent_ms: float      # median per-sample ms of the incumbent side
+    challenger_ms: float     # median per-sample ms of the challenger side
+    ratio: float             # median of per-round incumbent/challenger ratios
+    rounds: int
+
+    @property
+    def challenger_wins(self) -> bool:
+        return self.ratio > 1.0
+
+
+def _median(xs: list[float]) -> float:
+    ys = sorted(xs)
+    n = len(ys)
+    mid = n // 2
+    return ys[mid] if n % 2 else 0.5 * (ys[mid - 1] + ys[mid])
+
+
+def paired_trial(
+    incumbent: Callable[[], object],
+    challenger: Callable[[], object],
+    rounds: int = 3,
+    warmup: int = 1,
+    telemetry: Telemetry | None = None,
+) -> PairedTrial:
+    """Time ``incumbent`` vs ``challenger`` interleaved; ratio > 1 means
+    the challenger is faster.
+
+    Each callable runs one normalised unit of work (the caller equalises
+    per-step work across sides).  ``warmup`` un-timed executions per side
+    absorb first-touch costs (plan-cache misses, FFT plan setup, pool
+    spin-up) that would otherwise be charged to whichever side went
+    first.  The heap is settled *before* the warm-up, never between
+    warm-up and timing: ``malloc_trim`` returns freed arenas to the
+    kernel, and whichever side runs first after a trim re-faults its
+    buffers back in — a 20-40% penalty that lands on the incumbent and
+    flips short trials.  Callers passing ``warmup=0`` must settle and
+    warm both sides themselves.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    if warmup > 0:
+        _quiesce()
+        for _ in range(warmup):
+            incumbent()
+            challenger()
+    inc_ms: list[float] = []
+    cha_ms: list[float] = []
+    ratios: list[float] = []
+    for r in range(max(1, rounds)):
+        sides = (
+            (incumbent, challenger) if r % 2 == 0 else (challenger, incumbent)
+        )
+        times: dict[Callable[[], object], float] = {}
+        for fn in sides:
+            name = "incumbent" if fn is incumbent else "challenger"
+            with tel.span(f"tune/trial/{name}"):
+                t0 = time.perf_counter()
+                fn()
+                times[fn] = (time.perf_counter() - t0) * 1e3
+        inc_ms.append(times[incumbent])
+        cha_ms.append(times[challenger])
+        ratios.append(times[incumbent] / max(times[challenger], 1e-9))
+        if tel.enabled:
+            tel.observe("tuner_trial_incumbent_ms", times[incumbent])
+            tel.observe("tuner_trial_challenger_ms", times[challenger])
+    return PairedTrial(
+        incumbent_ms=_median(inc_ms),
+        challenger_ms=_median(cha_ms),
+        ratio=_median(ratios),
+        rounds=max(1, rounds),
+    )

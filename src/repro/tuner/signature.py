@@ -1,0 +1,109 @@
+"""Workload signatures: stable identity for "the same tuning problem".
+
+A tuned configuration is only reusable for workloads whose performance
+landscape is the same, and only safely persistable if the key naming it is
+stable across processes.  A :class:`WorkloadSignature` captures exactly
+what shapes that landscape:
+
+* the **kernel digest** — a SHA-256 over the kernel's *numeric* identity
+  (sorted taps, exact ``float.hex`` weights).  Display names are
+  excluded, and taps are sorted, so a kernel built via
+  :meth:`~repro.core.kernels.StencilKernel.from_dense` hashes identically
+  to the same kernel built from a tap dictionary in any insertion order;
+* the **grid shape**, **total steps**, **precision tier**, and
+  **boundary** — the problem being solved;
+* the **visible CPU count** and the **available FFT backends** — the
+  machine resources the winner was measured against.  A tuned config
+  migrating to a box with different cores (or without scipy) must re-tune,
+  not replay a stale winner.
+
+Everything is rendered through :func:`hashlib.sha256` over a canonical
+string — never Python's salted ``hash()`` — so digests are identical
+across process restarts regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..parallel.backends import available_backends
+from ..parallel.sharding import cpu_count
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.kernels import StencilKernel
+    from ..core.plan import FlashFFTStencil
+
+__all__ = ["WorkloadSignature", "kernel_digest", "workload_signature"]
+
+
+def kernel_digest(kernel: "StencilKernel") -> str:
+    """SHA-256 digest of a kernel's numeric identity (taps + weights).
+
+    Taps are sorted by offset and weights rendered with ``float.hex`` —
+    exact, locale-free, and stable across processes — so two kernels with
+    equal taps share a digest no matter how they were constructed, while
+    any weight perturbation (even below repr precision) separates them.
+    The display ``name`` is deliberately excluded: it carries no numeric
+    information, and ``from_dense`` defaults it differently than the tap
+    constructor.
+    """
+    taps = sorted(zip(kernel.offsets, kernel.weights))
+    payload = ";".join(
+        ",".join(str(int(o)) for o in off) + ":" + float(w).hex()
+        for off, w in taps
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class WorkloadSignature:
+    """Identity of one tuning problem on one machine."""
+
+    kernel_digest: str
+    grid_shape: tuple[int, ...]
+    steps: int
+    precision: str
+    boundary: str
+    cpus: int
+    backends: tuple[str, ...]
+    #: Micro-batch width of the workload (1 for single-grid ``run``; the
+    #: batch row count for ``run_many``; the serving target for a server).
+    batch: int = 1
+
+    def key_string(self) -> str:
+        """Canonical one-line rendering (the persistence key in clear)."""
+        return "|".join(
+            (
+                "tuner",
+                f"kernel={self.kernel_digest}",
+                f"grid={tuple(self.grid_shape)}",
+                f"steps={int(self.steps)}",
+                f"precision={self.precision}",
+                f"boundary={self.boundary}",
+                f"cpus={int(self.cpus)}",
+                f"backends={','.join(self.backends)}",
+                f"batch={int(self.batch)}",
+            )
+        )
+
+    def digest(self) -> str:
+        """Short, process-stable digest of :meth:`key_string`."""
+        return hashlib.sha256(self.key_string().encode("utf-8")).hexdigest()[:32]
+
+
+def workload_signature(
+    plan: "FlashFFTStencil", total_steps: int, batch: int = 1
+) -> WorkloadSignature:
+    """The signature of running ``plan`` for ``total_steps`` on this host."""
+    return WorkloadSignature(
+        kernel_digest=kernel_digest(plan.kernel),
+        grid_shape=tuple(plan.grid_shape),
+        steps=int(total_steps),
+        precision=plan.precision,
+        boundary=plan.boundary,
+        cpus=cpu_count(),
+        backends=available_backends(),
+        batch=int(batch),
+    )

@@ -108,6 +108,61 @@ class TestSmemDemandModel:
             assert tuned.length >= 56
 
 
+class TestPrecisionAwareGeometry:
+    """The capacity model must charge float32 tiers half the bytes —
+    otherwise mixed-precision plans inherit float64 geometry and waste
+    half the SMEM budget they were routed to exploit."""
+
+    def test_float32_demand_is_half_of_float64(self):
+        from repro.core.autotune import _smem_demand_bytes
+
+        for length in (56, 448, 3136):
+            for rfft in (False, True):
+                assert _smem_demand_bytes(
+                    length, rfft=rfft, precision="float32"
+                ) == _smem_demand_bytes(length, rfft=rfft) // 2
+
+    def test_float32_admits_longer_segments_under_pressure(self):
+        # At 32 KiB/SM the float64 tier tops out at a=3 (L=168) while the
+        # float32 tier's halved footprint admits a=5 (L=280).  Pin both so
+        # the precision threading cannot silently fall back to float64
+        # element sizes.
+        from dataclasses import replace
+
+        spec = replace(A100, smem_per_sm_bytes=32 * 1024)
+        t64 = choose_segment_length(
+            kz.heat_1d(), steps=4, spec=spec, precision="float64"
+        )
+        t32 = choose_segment_length(
+            kz.heat_1d(), steps=4, spec=spec, precision="float32"
+        )
+        assert t32.length > t64.length
+        assert (t64.length, t32.length) == (168, 280)
+
+    def test_float32_segment_still_fits_budget(self):
+        from dataclasses import replace
+        from repro.core.autotune import _smem_demand_bytes
+
+        spec = replace(A100, smem_per_sm_bytes=32 * 1024)
+        tuned = choose_segment_length(
+            kz.heat_1d(), steps=4, spec=spec, precision="float32"
+        )
+        assert tuned.smem_bytes == _smem_demand_bytes(
+            tuned.length, rfft=True, precision="float32"
+        )
+        assert tuned.smem_bytes <= spec.smem_per_sm_bytes
+
+    def test_tile_shape_accepts_precision(self):
+        # Same floor-capped answer on the full-size A100 budget, but the
+        # float32 path must go through without error and never pick a
+        # smaller tile than float64 does.
+        t64 = choose_tile_shape(kz.heat_2d(), steps=4, spec=A100)
+        t32 = choose_tile_shape(
+            kz.heat_2d(), steps=4, spec=A100, precision="float32"
+        )
+        assert all(a >= b for a, b in zip(t32, t64))
+
+
 class TestTileShape:
     def test_2d_slice_band_fits_budget(self):
         # Slices stream along axis 0; what must fit is one transformed slice

@@ -109,6 +109,14 @@ class TestMeasuredArtifacts:
         assert "bit-identical" in out and "cross-rank/app" in out
         assert "Heat-1D" in out and "Heat-2D" in out
 
+    def test_autotune_extension(self):
+        from repro.experiments import autotune
+
+        assert "autotune" in EXPERIMENTS
+        out = autotune()
+        assert "trial steps" in out and "cached" in out
+        assert "Heat-1D" in out and "Heat-2D" in out
+
     def test_future_projection_monotone(self):
         out = future_gpus()
         assert "B100" in out

@@ -418,7 +418,8 @@ class TestPlanDiskCache:
         cold = cache.warm_plan((192,), heat_1d(), fused_steps=6)
         warm = cache.warm_plan((192,), heat_1d(), fused_steps=6)
         assert cache.info() == {
-            "directory": str(tmp_path), "entries": 1, "hits": 1, "misses": 2,
+            "directory": str(tmp_path), "entries": 1, "tuned_entries": 0,
+            "hits": 1, "misses": 2,
         }
         assert warm.local_shape == cold.local_shape
 
